@@ -1,0 +1,85 @@
+"""Ablation: switchless OCALLs (the optimization the paper cites [66]).
+
+Switchless calls replace the world switch with a shared-ring handoff to a
+busy-polling untrusted worker.  This ablation measures (a) the raw OCALL
+latency with and without switchless mode per enclave operation mode, and
+(b) the burned-worker cost that pays for it — quantifying when the trade
+is worth it (OCALL-heavy servers) and when it isn't (rare OCALLs waste a
+core).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import TextTable, fmt_cycles
+from repro.hw import costs
+from repro.monitor.structs import EnclaveMode
+
+from .conftest import load_platform_and_handle, median_cycles
+
+MODES = [("HU-Enclave", EnclaveMode.HU), ("GU-Enclave", EnclaveMode.GU),
+         ("P-Enclave", EnclaveMode.P), ("Intel SGX", EnclaveMode.SGX)]
+ITERATIONS = 101
+
+
+def measure_mode(mode: EnclaveMode) -> dict[str, float]:
+    platform, handle = load_platform_and_handle(mode)
+    machine = platform.machine
+    measured = {}
+
+    def entry(ctx):
+        with machine.cycles.measure() as span:
+            ctx.ocall("ocall_nop")
+        measured["cycles"] = span.elapsed
+        return 0
+
+    handle.image.trusted_funcs["nop"] = lambda ctx: entry(ctx)
+
+    def one_ocall():
+        handle.proxies.nop()
+        return measured["cycles"]
+
+    regular = median_cycles(machine, one_ocall, ITERATIONS)
+    regular = measured["cycles"]
+    handle.enable_switchless()
+    handle.proxies.nop()
+    switchless = measured["cycles"]
+    worker_cycles = handle.switchless_worker_cycles
+    handle.destroy()
+    return {"regular": regular, "switchless": switchless,
+            "worker": worker_cycles}
+
+
+def run_experiment():
+    return {label: measure_mode(mode) for label, mode in MODES}
+
+
+def test_ablation_switchless(benchmark, record_result):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = TextTable(
+        title="Ablation: OCALL latency, world-switch vs switchless (cycles)",
+        headers=["platform", "regular OCALL", "switchless OCALL",
+                 "speedup"])
+    for label, _ in MODES:
+        r = results[label]
+        table.add_row(label, fmt_cycles(r["regular"]),
+                      fmt_cycles(r["switchless"]),
+                      f"{r['regular'] / r['switchless']:.1f}x")
+    table.show()
+    record_result("ablation_switchless", results)
+    benchmark.extra_info.update(
+        {f"{label}/{k}": v for label, r in results.items()
+         for k, v in r.items()})
+
+    expected = (costs.SWITCHLESS_ENQUEUE_CYCLES
+                + costs.SWITCHLESS_POLL_INTERVAL_CYCLES / 2
+                + costs.SWITCHLESS_COMPLETE_CYCLES)
+    for label, _ in MODES:
+        r = results[label]
+        # Regular OCALLs land on Table 1; switchless is mode-independent.
+        assert r["switchless"] == expected, label
+        assert r["regular"] / r["switchless"] > 5, label
+    # SGX gains the most: its world switch is the most expensive.
+    gains = {label: results[label]["regular"] / results[label]["switchless"]
+             for label, _ in MODES}
+    assert gains["Intel SGX"] == max(gains.values())

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""P-Enclaves: in-enclave exception handling and page-table management.
+
+The paper's motivating example (Sec 4.3): a garbage collector tracks
+mutations with page-permission traps.  A user-mode enclave (GU) must trap
+to RustMonitor for every permission change and page fault; a privileged
+enclave (P) installs its own IDT handler and edits its own level-1 page
+table, so a write-barrier round trip costs ~1,132 cycles instead of
+~2,660 (Table 2) — and an in-enclave #UD costs 258 cycles instead of a
+17,490-cycle two-phase AEX.
+
+Run:  python examples/gc_penclave.py
+"""
+
+from repro.monitor.structs import EnclaveConfig, EnclaveMode, PagePerm
+from repro.platform import TeePlatform
+from repro.sdk.image import EnclaveImage
+
+PAGE = 4096
+HEAP_PAGES = 24
+
+EDL = """
+enclave {
+    trusted {
+        public uint64 gc_epoch(uint64 npages);
+        public uint64 take_ud(uint64 times);
+    };
+    untrusted { };
+};
+"""
+
+
+def gc_epoch(ctx, npages):
+    """One write-barrier epoch over an ``npages`` heap.
+
+    Revoke write access, let the mutator fault on every page it touches,
+    record the dirty set in the handler, restore permissions.
+    """
+    n = int(npages)
+    heap = ctx.globals.get("gc_heap")
+    if heap is None:
+        heap = ctx.malloc(n * PAGE)
+        ctx.write(heap, b"\x00" * (n * PAGE))
+        ctx.globals["gc_heap"] = heap
+    dirty = set()
+
+    def write_barrier(c, fault_va):
+        page = fault_va & ~(PAGE - 1)
+        dirty.add(page)
+        c.mprotect(page, 1, PagePerm.RW)
+
+    ctx.register_pf_handler(write_barrier)
+    ctx.mprotect(heap, n, PagePerm.R)          # arm the barrier
+    for i in range(n):                          # the mutator writes
+        ctx.write(heap + i * PAGE, b"mutated!")
+    return len(dirty)
+
+
+def take_ud(ctx, times):
+    hits = [0]
+    ctx.register_exception_handler(lambda c, v: hits.__setitem__(0,
+                                                                 hits[0] + 1))
+    for _ in range(int(times)):
+        ctx.trigger_ud()
+    return hits[0]
+
+
+def build(mode):
+    return EnclaveImage.build(
+        "gc-demo", EDL, {"gc_epoch": gc_epoch, "take_ud": take_ud},
+        EnclaveConfig(mode=mode, heap_size=(HEAP_PAGES + 8) * PAGE))
+
+
+def main() -> None:
+    platform = TeePlatform.hyperenclave()
+    print(f"{'mode':<12} {'GC epoch (cycles/page)':>24} "
+          f"{'#UD (cycles each)':>20}")
+    results = {}
+    for mode in (EnclaveMode.GU, EnclaveMode.P):
+        handle = platform.load_enclave(build(mode))
+        handle.proxies.gc_epoch(npages=HEAP_PAGES)   # warm: commit heap
+        with platform.cycles.measure() as span:
+            dirty = handle.proxies.gc_epoch(npages=HEAP_PAGES)
+        assert dirty == HEAP_PAGES
+        gc_cycles = span.elapsed / HEAP_PAGES
+        with platform.cycles.measure() as span:
+            handle.proxies.take_ud(times=50)
+        ud_cycles = (span.elapsed - 9_700) / 50   # subtract the ECALL
+        results[mode] = (gc_cycles, ud_cycles)
+        print(f"{mode.name + '-Enclave':<12} {gc_cycles:>24,.0f} "
+              f"{ud_cycles:>20,.0f}")
+        handle.destroy()
+
+    gu, p = results[EnclaveMode.GU], results[EnclaveMode.P]
+    print(f"\nP-Enclave speedup: GC {gu[0] / p[0]:.1f}x, "
+          f"#UD {gu[1] / p[1]:.0f}x")
+    print("(paper: GC ~2.3x, #UD ~68x — Table 2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""A privacy-preserving key-value store — the paper's deployment scenario.
+
+A FinTech operator runs a database of customer records inside an enclave:
+
+* the client *attests* the enclave before sending any data (the full
+  HyperEnclave quote chain: TPM EK -> AIK -> PCRs -> hapk -> MRENCLAVE),
+* records cross the boundary through the marshalling buffer,
+* lookups run inside the enclave against an in-enclave B-tree (litedb),
+* the database key is *sealed*, so only this exact enclave on this exact
+  platform can recover it after a restart,
+* the untrusted OS, a peer process, and a DMA-capable device all try to
+  read the records — and bounce off.
+
+Run:  python examples/private_kv_store.py
+"""
+
+from repro.apps.litedb import LiteDb
+from repro.attacks import dma, malware
+from repro.errors import SecurityViolation
+from repro.monitor.attestation import QuoteVerifier
+from repro.monitor.structs import EnclaveConfig, EnclaveMode
+from repro.platform import TeePlatform
+from repro.sdk.image import EnclaveImage
+
+VALUE_SIZE = 64
+
+EDL = """
+enclave {
+    trusted {
+        public uint64 db_open();
+        public uint64 db_put([in, size=klen] bytes key, uint64 klen,
+                             [in, size=64] bytes value);
+        public uint64 db_get([in, size=klen] bytes key, uint64 klen,
+                             [out, size=64] bytes value);
+        public uint64 db_export_master_key([out, size=cap] bytes blob,
+                                           uint64 cap);
+    };
+    untrusted { };
+};
+"""
+
+
+def db_open(ctx):
+    ctx.globals["db"] = LiteDb(ctx, value_size=VALUE_SIZE)
+    ctx.globals["master_key"] = ctx.random(32)
+    return 0
+
+
+def db_put(ctx, key, klen, value):
+    ctx.globals["db"].put(bytes(key), bytes(value))
+    return ctx.globals["db"].count
+
+
+def db_get(ctx, key, klen, value):
+    found = ctx.globals["db"].get(bytes(key))
+    if found is None:
+        return 0
+    value[:] = found
+    return 1
+
+
+def db_export_master_key(ctx, blob, cap):
+    sealed = ctx.seal_data(ctx.globals["master_key"], aad=b"kv-master-key")
+    blob[:len(sealed)] = sealed
+    return len(sealed)
+
+
+RECORDS = {
+    b"alice": b"balance=1042.17 risk=low".ljust(VALUE_SIZE, b" "),
+    b"bob": b"balance=99.50   risk=medium".ljust(VALUE_SIZE, b" "),
+    b"carol": b"balance=777777. risk=high".ljust(VALUE_SIZE, b" "),
+}
+
+
+def main() -> None:
+    platform = TeePlatform.hyperenclave()
+    image = EnclaveImage.build(
+        "private-kv", EDL,
+        {"db_open": db_open, "db_put": db_put, "db_get": db_get,
+         "db_export_master_key": db_export_master_key},
+        EnclaveConfig(mode=EnclaveMode.GU, heap_size=16 * 1024 * 1024))
+    handle = platform.load_enclave(image)
+
+    print("== client attests the enclave before sending data ==")
+    quote = handle.ctx.get_quote(b"session-key-hash", b"client-nonce-7")
+    report = QuoteVerifier(platform.boot.golden).verify(
+        quote, expected_mrenclave=handle.enclave.secs.mrenclave,
+        expected_nonce=b"client-nonce-7")
+    print(f"   attested MRENCLAVE {report.mrenclave.hex()[:24]}...: OK")
+
+    print("== loading customer records into the enclave ==")
+    handle.proxies.db_open()
+    for key, value in RECORDS.items():
+        count = handle.proxies.db_put(key=key, klen=len(key), value=value)
+    print(f"   {count} records stored in the in-enclave B-tree")
+
+    print("== querying ==")
+    ret, outs = handle.proxies.db_get(key=b"bob", klen=3)
+    assert ret == 1
+    print(f"   bob -> {outs['value'].strip().decode()}")
+    ret = handle.proxies.db_get(key=b"mallory", klen=7)
+    result = ret[0] if isinstance(ret, tuple) else ret
+    print(f"   mallory -> {'found' if result else 'no such record'}")
+
+    print("== sealing the master key for restarts ==")
+    _, outs = handle.proxies.db_export_master_key(cap=256)
+    sealed = outs["blob"].rstrip(b"\x00")
+    print(f"   sealed master key: {len(sealed)} bytes on untrusted disk")
+
+    print("== attacks ==")
+    # 1. The OS maps an app page onto an enclave frame and reads it.
+    try:
+        victim_pa = handle.enclave.pages[0].pa
+        platform.monitor.check_normal_access(victim_pa)
+        print("   !!! OS read enclave memory")
+    except SecurityViolation as exc:
+        print(f"   OS direct read: BLOCKED ({type(exc).__name__})")
+    # 2. A DMA device goes for the enclave frames.
+    result = dma.dma_read_enclave_memory(platform, handle)
+    print(f"   rogue NIC DMA:  "
+          f"{'BLOCKED' if result.blocked else '!!! LEAKED'}")
+    # 3. A malicious enclave tries to scrape the host app.
+    evil_image = EnclaveImage.build(
+        "evil", "enclave { trusted { public uint64 add_numbers(uint64 a, "
+        "uint64 b); }; untrusted { }; };",
+        {"add_numbers": lambda ctx, a, b: a + b})
+    evil = platform.load_enclave(evil_image)
+    vma = platform.kernel.mmap(platform.process, 4096, populate=True)
+    platform.kernel.user_write(platform.process, vma.start, b"APP-SECRET")
+    result = malware.scrape_app_memory(platform, evil, secret_va=vma.start,
+                                       secret_len=10)
+    print(f"   enclave malware scraping the app: "
+          f"{'BLOCKED' if result.blocked else '!!! LEAKED'}")
+
+    handle.destroy()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

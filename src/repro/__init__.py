@@ -1,0 +1,30 @@
+"""HyperEnclave reproduction: an open, cross-platform process-based TEE.
+
+Reproduces *HyperEnclave: An Open and Cross-platform Trusted Execution
+Environment* (USENIX ATC 2022) as a cycle-accounted full-system
+simulation.  The usual entry point:
+
+>>> from repro import TeePlatform, EnclaveImage
+>>> platform = TeePlatform.hyperenclave()
+>>> image = EnclaveImage.build(
+...     "hello",
+...     "enclave { trusted { public uint64 f(); }; untrusted { }; };",
+...     {"f": lambda ctx: 42})
+>>> platform.load_enclave(image).proxies.f()
+42
+
+Sub-packages: ``repro.hw`` (simulated hardware), ``repro.monitor``
+(RustMonitor), ``repro.osim`` (the untrusted primary OS), ``repro.sdk``
+(the SGX-compatible enclave SDK), ``repro.libos`` (Occlum-like LibOS),
+``repro.apps`` (evaluation workloads), ``repro.attacks`` (security
+scenarios), ``repro.ports`` (ARM/RISC-V port models).
+"""
+
+from repro.monitor.structs import EnclaveConfig, EnclaveMode
+from repro.platform import TeePlatform
+from repro.sdk.image import EnclaveImage
+
+__version__ = "1.0.0"
+
+__all__ = ["TeePlatform", "EnclaveImage", "EnclaveConfig", "EnclaveMode",
+           "__version__"]

@@ -1,0 +1,99 @@
+"""Render ``benchmarks/results.json`` into a markdown summary.
+
+Usage::
+
+    python -m repro.analysis.report [path/to/results.json]
+
+Prints a compact paper-vs-measured digest of the recorded benchmark run —
+the data EXPERIMENTS.md is written from.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+# The paper's headline numbers, for side-by-side rendering.
+PAPER = {
+    "table1_ecall": {"HU-Enclave": 8440, "GU-Enclave": 9480,
+                     "P-Enclave": 9700, "Intel SGX": 14432},
+    "table2_ud": {"P-Enclave": 258, "GU-Enclave": 17490,
+                  "Intel SGX": 28561},
+    "fig8d_relmax": {"HU-Enclave": 0.89, "GU-Enclave": 0.72, "SGX": 0.48},
+}
+
+
+def _line(out: list[str], text: str = "") -> None:
+    out.append(text)
+
+
+def render(results: dict) -> str:
+    """Markdown digest of a recorded run."""
+    out: list[str] = ["# Benchmark run digest", ""]
+
+    if "table1_edge_calls" in results:
+        _line(out, "## Table 1 — ECALL cycles (paper / measured)")
+        for platform, paper in PAPER["table1_ecall"].items():
+            measured = results["table1_edge_calls"][platform]["ecall"]
+            mark = "exact" if measured == paper else "DIFFERS"
+            _line(out, f"- {platform}: {paper:,} / {measured:,.0f} ({mark})")
+        _line(out)
+
+    if "table2_exceptions" in results:
+        _line(out, "## Table 2 — #UD cycles (paper / measured)")
+        for platform, paper in PAPER["table2_ud"].items():
+            measured = results["table2_exceptions"][platform]["ud"]
+            mark = "exact" if measured == paper else "DIFFERS"
+            _line(out, f"- {platform}: {paper:,} / {measured:,.0f} ({mark})")
+        _line(out)
+
+    if "fig8b_sqlite" in results:
+        r = results["fig8b_sqlite"]
+        _line(out, "## Figure 8b — SQLite relative throughput")
+        for mode in ("GU-Enclave", "HU-Enclave", "SGX"):
+            values = ", ".join(f"{v:.2f}" for v in r[mode])
+            _line(out, f"- {mode}: [{values}] over records {r['records']}")
+        _line(out)
+
+    if "fig8d_redis" in results:
+        _line(out, "## Figure 8d — Redis relative max throughput "
+                   "(paper / measured)")
+        rel = results["fig8d_redis"]["relative_max_throughput"]
+        for mode, paper in PAPER["fig8d_relmax"].items():
+            _line(out, f"- {mode}: {paper:.2f} / {rel[mode]:.2f}")
+        _line(out)
+
+    if "fig11_memenc" in results:
+        norm = results["fig11_memenc"]["normalized"]
+        _line(out, "## Figure 11 — normalized latency at 256 MB")
+        for name, values in sorted(norm.items()):
+            _line(out, f"- {name}: {values[-1]:.3g}x")
+        _line(out)
+
+    ablations = [k for k in results if k.startswith("ablation_")]
+    if ablations:
+        _line(out, "## Ablations recorded")
+        for name in sorted(ablations):
+            _line(out, f"- {name}")
+        _line(out)
+
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: print the digest for a results file."""
+    args = argv if argv is not None else sys.argv[1:]
+    path = pathlib.Path(args[0]) if args else \
+        pathlib.Path(__file__).resolve().parents[3] / "benchmarks" \
+        / "results.json"
+    if not path.exists():
+        print(f"no results at {path}; run pytest benchmarks/ first",
+              file=sys.stderr)
+        return 1
+    print(render(json.loads(path.read_text())))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Plain-text tables and series, printed in the paper's shape.
+
+The benchmark harness regenerates each paper table/figure as text; these
+helpers keep the formatting consistent and the rows machine-readable
+(each table also exposes ``.data`` for EXPERIMENTS.md extraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def fmt_cycles(value: float) -> str:
+    """1234567.8 -> '1,234,568'."""
+    return f"{value:,.0f}"
+
+
+def fmt_ratio(value: float) -> str:
+    """0.8132 -> '81%'."""
+    return f"{value * 100:.0f}%"
+
+
+@dataclass
+class TextTable:
+    """An aligned text table."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns")
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells):
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        out = [f"== {self.title} ==",
+               line(self.headers),
+               "-+-".join("-" * w for w in widths)]
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def series(title: str, xs: list, ys_by_label: dict[str, list],
+           x_label: str = "x") -> TextTable:
+    """A figure rendered as one x-column plus one column per series."""
+    table = TextTable(title=title, headers=[x_label, *ys_by_label])
+    for i, x in enumerate(xs):
+        table.add_row(x, *(f"{ys[i]:.3g}" for ys in ys_by_label.values()))
+    table.data = {"x": list(xs),
+                  **{label: list(ys) for label, ys in ys_by_label.items()}}
+    return table

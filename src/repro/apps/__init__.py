@@ -1,0 +1,18 @@
+"""Application workloads used by the evaluation (Sec 7).
+
+* :mod:`repro.apps.nbench`    — the NBench kernel suite (CPU-intensive).
+* :mod:`repro.apps.litedb`    — a B-tree in-memory database (our SQLite).
+* :mod:`repro.apps.ycsb`      — the YCSB workload generator (zipfian,
+  workload A = 50% reads / 50% updates).
+* :mod:`repro.apps.webserver` — an HTTP/1.0 file server (our Lighttpd).
+* :mod:`repro.apps.kvserver`  — a RESP key-value server (our Redis).
+* :mod:`repro.apps.lmbench`   — LMBench-style OS micro-operations.
+* :mod:`repro.apps.speccpu`   — SPEC-CPU-like compute kernels.
+* :mod:`repro.apps.membench`  — the memory-latency kernel of Figure 11.
+* :mod:`repro.apps.driver`    — request drivers + AEX accounting.
+
+Workload code only uses the context surface shared by
+:class:`~repro.sdk.trts.EnclaveContext` and
+:class:`~repro.platform.NativeContext` (malloc/touch/compute/random), so
+the same code runs protected and unprotected.
+"""

@@ -1,0 +1,98 @@
+"""Benchmark drivers: request loops, AEX accounting, queueing model.
+
+NIC interrupts arrive while servers run; when the server is an enclave
+each arrival forces an asynchronous enclave exit whose round-trip cost
+depends on the operation mode (AEX + OS interrupt handling + ERESUME).
+This is the mechanism behind the GU-vs-HU-vs-SGX spread on the
+I/O-intensive workloads (Sec 7.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw import costs
+from repro.hw.machine import Machine
+
+# The primary OS's interrupt-handling work per arrival.
+OS_INTERRUPT_CYCLES = 2000
+
+
+def aex_roundtrip_cycles(mode_key: str) -> int:
+    """The cost of one interrupt-induced AEX + ERESUME for ``mode_key``."""
+    return (sum(c for _, c in costs.AEX_STEPS[mode_key])
+            + OS_INTERRUPT_CYCLES
+            + sum(c for _, c in costs.ERESUME_STEPS[mode_key]))
+
+
+def charge_interrupts(machine: Machine, busy_cycles: float,
+                      mode_key: str | None) -> int:
+    """Account for interrupts arriving during ``busy_cycles`` of service.
+
+    ``mode_key`` is the enclave operation mode ("gu"/"hu"/"p"/"sgx") or
+    None for native execution (plain interrupt handling, no AEX).
+    Returns the number of arrivals.
+    """
+    arrivals = machine.interrupts.arrivals_during(busy_cycles)
+    for _ in range(arrivals):
+        if mode_key is None:
+            machine.cycles.charge(OS_INTERRUPT_CYCLES, "interrupt")
+        else:
+            machine.cycles.charge(aex_roundtrip_cycles(mode_key),
+                                  f"aex-interrupt:{mode_key}")
+    return arrivals
+
+
+@dataclass
+class ServiceStats:
+    """Aggregated request-service measurements."""
+
+    requests: int = 0
+    total_cycles: float = 0.0
+    aex_count: int = 0
+    per_request: list[float] = field(default_factory=list)
+
+    @property
+    def mean_cycles(self) -> float:
+        return self.total_cycles / self.requests if self.requests else 0.0
+
+    def record(self, cycles: float) -> None:
+        self.requests += 1
+        self.total_cycles += cycles
+        self.per_request.append(cycles)
+
+
+def measure_requests(machine: Machine, serve_one, n_requests: int, *,
+                     mode_key: str | None, warmup: int = 3) -> ServiceStats:
+    """Drive ``serve_one()`` ``n_requests`` times, measuring cycles per
+    request including interrupt-induced AEXes."""
+    for _ in range(warmup):
+        serve_one()
+    stats = ServiceStats()
+    for _ in range(n_requests):
+        with machine.cycles.measure() as span:
+            serve_one()
+            stats.aex_count += charge_interrupts(machine, span.elapsed,
+                                                 mode_key)
+        stats.record(span.elapsed)
+    return stats
+
+
+def mm1_latency(service_cycles: float, utilization: float) -> float:
+    """M/M/1 sojourn time for a given service time and utilization."""
+    if not 0 <= utilization < 1:
+        raise ValueError("utilization must be in [0, 1)")
+    return service_cycles / (1.0 - utilization)
+
+
+def latency_throughput_curve(service_cycles: float, *,
+                             points: int = 12,
+                             max_utilization: float = 0.95
+                             ) -> list[tuple[float, float]]:
+    """(throughput ops/Mcycle, latency cycles) pairs for a rising load."""
+    curve = []
+    for i in range(1, points + 1):
+        rho = max_utilization * i / points
+        throughput = rho / service_cycles * 1e6
+        curve.append((throughput, mm1_latency(service_cycles, rho)))
+    return curve

@@ -1,0 +1,202 @@
+"""A RESP key-value server (the Redis stand-in, Fig 8d).
+
+Implements a real subset of the RESP2 wire protocol (GET/SET/DEL/INCR/
+PING) over the LibOS socket interface, with values stored at allocated
+context addresses so the memory system sees the 50 MB dataset.
+"""
+
+from __future__ import annotations
+
+from repro.libos.base import LIBOS_EDL_UNTRUSTED, Libos
+
+_PARSE_CYCLES_PER_BYTE = 0.5
+_HASH_LOOKUP_CYCLES = 180
+
+KV_PORT = 6379
+
+
+def encode_command(*parts: bytes) -> bytes:
+    """RESP array-of-bulk-strings encoding (what redis clients send)."""
+    out = b"*%d\r\n" % len(parts)
+    for part in parts:
+        out += b"$%d\r\n%s\r\n" % (len(part), part)
+    return out
+
+
+def decode_reply(data: bytes):
+    """Decode one RESP reply (simple string, error, integer, bulk)."""
+    kind = data[:1]
+    if kind == b"+":
+        return data[1:].split(b"\r\n", 1)[0]
+    if kind == b"-":
+        raise ValueError(data[1:].split(b"\r\n", 1)[0].decode())
+    if kind == b":":
+        return int(data[1:].split(b"\r\n", 1)[0])
+    if kind == b"$":
+        header, _, rest = data.partition(b"\r\n")
+        length = int(header[1:])
+        if length == -1:
+            return None
+        return rest[:length]
+    raise ValueError(f"bad RESP reply {data[:20]!r}")
+
+
+class _Entry:
+    __slots__ = ("addr", "size")
+
+    def __init__(self, addr: int, size: int) -> None:
+        self.addr = addr
+        self.size = size
+
+
+class RespServer:
+    """A single-threaded RESP server."""
+
+    def __init__(self, libos: Libos, ctx, port: int = KV_PORT) -> None:
+        self.libos = libos
+        self.ctx = ctx
+        self.port = port
+        self.libos.listen(port)
+        self._entries: dict[bytes, _Entry] = {}
+        self._values: dict[bytes, bytes] = {}
+        self.commands_served = 0
+
+    def accept(self) -> int:
+        return self.libos.accept(self.port)
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(e.size + 64 for e in self._entries.values())
+
+    def handle_command(self, conn: int) -> int:
+        """Process one queued command; returns the reply size (0 if idle)."""
+        data = self.libos.recv(conn)
+        if data is None:
+            return 0
+        self.ctx.compute(len(data) * _PARSE_CYCLES_PER_BYTE)
+        try:
+            parts = self._parse_command(data)
+            reply = self._execute(parts)
+        except (ValueError, IndexError) as exc:
+            reply = b"-ERR %s\r\n" % str(exc).encode()[:64]
+        self.libos.send(conn, reply)
+        self.commands_served += 1
+        return len(reply)
+
+    @staticmethod
+    def _parse_command(data: bytes) -> list[bytes]:
+        # Length-prefixed parsing: bulk strings may contain \r\n bytes,
+        # so splitting on line terminators would corrupt binary values.
+        if not data.startswith(b"*"):
+            raise ValueError("expected RESP array")
+        pos = data.index(b"\r\n")
+        count = int(data[1:pos])
+        if count < 1:
+            raise ValueError("empty command array")
+        pos += 2
+        parts: list[bytes] = []
+        for _ in range(count):
+            if data[pos:pos + 1] != b"$":
+                raise ValueError("expected bulk string")
+            header_end = data.index(b"\r\n", pos)
+            length = int(data[pos + 1:header_end])
+            if length < 0:
+                raise ValueError("negative bulk length")
+            start = header_end + 2
+            part = data[start:start + length]
+            if len(part) != length or \
+                    data[start + length:start + length + 2] != b"\r\n":
+                raise ValueError("truncated bulk string")
+            parts.append(part)
+            pos = start + length + 2
+        return parts
+
+    def _execute(self, parts: list[bytes]) -> bytes:
+        command = parts[0].upper()
+        self.ctx.compute(_HASH_LOOKUP_CYCLES)
+        if command == b"PING":
+            return b"+PONG\r\n"
+        if command == b"SET":
+            key, value = parts[1], parts[2]
+            entry = self._entries.get(key)
+            if entry is None or entry.size < len(value):
+                entry = _Entry(self.ctx.malloc(max(len(value), 16)),
+                               len(value))
+                self._entries[key] = entry
+            entry.size = len(value)
+            self.ctx.touch(entry.addr, len(value), write=True)
+            self._values[key] = bytes(value)
+            return b"+OK\r\n"
+        if command == b"GET":
+            entry = self._entries.get(parts[1])
+            if entry is None:
+                return b"$-1\r\n"
+            self.ctx.touch(entry.addr, entry.size)
+            value = self._values[parts[1]]
+            return b"$%d\r\n%s\r\n" % (len(value), value)
+        if command == b"DEL":
+            removed = 0
+            for key in parts[1:]:
+                if self._entries.pop(key, None) is not None:
+                    self._values.pop(key, None)
+                    removed += 1
+            return b":%d\r\n" % removed
+        if command == b"INCR":
+            key = parts[1]
+            entry = self._entries.get(key)
+            current = int(self._values.get(key, b"0"))
+            value = str(current + 1).encode()
+            if entry is None:
+                entry = _Entry(self.ctx.malloc(32), len(value))
+                self._entries[key] = entry
+            self.ctx.touch(entry.addr, len(value), write=True)
+            self._values[key] = value
+            return b":%d\r\n" % (current + 1)
+        raise ValueError(f"unknown command {command.decode()!r}")
+
+
+# ---------------------------------------------------------------- enclave --
+
+KV_EDL = """
+enclave {
+    trusted {
+        public uint64 kv_init(uint64 port);
+        public uint64 kv_accept(uint64 port);
+        public uint64 kv_serve(uint64 conn);
+    };
+    untrusted {
+""" + LIBOS_EDL_UNTRUSTED + """
+    };
+};
+"""
+
+
+def t_kv_init(ctx, port):
+    """ECALL: construct the in-enclave server under the LibOS."""
+    from repro.libos.occlum import OcclumLibos
+    libos = OcclumLibos(ctx)
+    ctx.globals["kv"] = RespServer(libos, ctx, int(port))
+    return 0
+
+
+def t_kv_accept(ctx, port):
+    """ECALL: accept one client connection."""
+    return ctx.globals["kv"].accept()
+
+
+def t_kv_serve(ctx, conn):
+    """ECALL: handle one queued RESP command."""
+    return ctx.globals["kv"].handle_command(int(conn))
+
+
+def make_kv_enclave_image(mode, *, heap_size: int = 256 * 1024 * 1024,
+                          msbuf_size: int = 1024 * 1024):
+    """An enclave image running the RESP server under the LibOS."""
+    from repro.monitor.structs import EnclaveConfig
+    from repro.sdk.image import EnclaveImage
+    return EnclaveImage.build(
+        "redis-occlum", KV_EDL,
+        {"kv_init": t_kv_init, "kv_accept": t_kv_accept,
+         "kv_serve": t_kv_serve},
+        EnclaveConfig(mode=mode, heap_size=heap_size,
+                      marshalling_buffer_size=msbuf_size))

@@ -1,0 +1,223 @@
+"""litedb: an in-memory B-tree key-value database (the SQLite stand-in).
+
+The Figure 8b evaluation runs an in-memory SQLite under YCSB workload A
+with the client embedded in the enclave.  litedb reproduces the relevant
+structure: a real order-``ORDER`` B-tree whose nodes and values live at
+allocated enclave addresses, so every get/put exerts genuine pressure on
+the TLB/LLC/encryption/EPC models as the database grows past the cache
+and (on SGX) past the EPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ORDER = 64                      # max keys per node
+NODE_BYTES = 2048               # key area + child/value pointers
+_WORD = 8
+
+
+@dataclass
+class _Node:
+    addr: int
+    leaf: bool
+    keys: list[bytes] = field(default_factory=list)
+    children: list["_Node"] = field(default_factory=list)   # internal
+    values: list[int] = field(default_factory=list)          # leaf: value addrs
+
+
+class LiteDb:
+    """A B-tree database bound to an execution context."""
+
+    def __init__(self, ctx, *, value_size: int = 1024) -> None:
+        self.ctx = ctx
+        self.value_size = value_size
+        self.root = self._new_node(leaf=True)
+        self.count = 0
+        self._store: dict[int, bytes] = {}   # value addr -> actual bytes
+        self.reads = 0
+        self.updates = 0
+
+    # -- node helpers -----------------------------------------------------------
+
+    def _new_node(self, *, leaf: bool) -> _Node:
+        addr = self.ctx.malloc(NODE_BYTES)
+        return _Node(addr=addr, leaf=leaf)
+
+    def _touch_node(self, node: _Node, *, write: bool = False) -> None:
+        # A search touches the key area; a split/insert dirties it.
+        self.ctx.touch(node.addr, min(len(node.keys) + 1, ORDER) * 16,
+                       write=write)
+
+    def _find_slot(self, node: _Node, key: bytes) -> int:
+        # Binary search within the node.
+        lo, hi = 0, len(node.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.ctx.compute(6)
+            if node.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate database footprint (drives EPC pressure)."""
+        return self.count * (self.value_size + 64)
+
+    # -- public API ----------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update."""
+        if len(value) != self.value_size:
+            raise ValueError(f"values must be {self.value_size} bytes")
+        root = self.root
+        if len(root.keys) >= ORDER:
+            new_root = self._new_node(leaf=False)
+            new_root.children = [root]
+            self._split_child(new_root, 0)
+            self.root = new_root
+        self._insert_nonfull(self.root, key, value)
+
+    def get(self, key: bytes) -> bytes | None:
+        """Point lookup."""
+        self.reads += 1
+        node = self.root
+        while True:
+            self._touch_node(node)
+            slot = self._find_slot(node, key)
+            if node.leaf:
+                if slot < len(node.keys) and node.keys[slot] == key:
+                    addr = node.values[slot]
+                    self.ctx.touch(addr, self.value_size)
+                    return self._store[addr]
+                return None
+            if slot < len(node.keys) and node.keys[slot] == key:
+                slot += 1
+            node = node.children[slot]
+
+    def update(self, key: bytes, value: bytes) -> bool:
+        """Overwrite an existing value in place (YCSB 'update')."""
+        self.updates += 1
+        node = self.root
+        while True:
+            self._touch_node(node)
+            slot = self._find_slot(node, key)
+            if node.leaf:
+                if slot < len(node.keys) and node.keys[slot] == key:
+                    addr = node.values[slot]
+                    self.ctx.touch(addr, self.value_size, write=True)
+                    self._store[addr] = bytes(value)
+                    return True
+                return False
+            if slot < len(node.keys) and node.keys[slot] == key:
+                slot += 1
+            node = node.children[slot]
+
+    def scan(self, start_key: bytes, limit: int) -> list[bytes]:
+        """Range scan (YCSB workload E style)."""
+        out: list[bytes] = []
+        self._scan_into(self.root, start_key, limit, out)
+        return out
+
+    def _scan_into(self, node: _Node, start_key: bytes, limit: int,
+                   out: list[bytes]) -> None:
+        self._touch_node(node)
+        if node.leaf:
+            slot = self._find_slot(node, start_key)
+            for i in range(slot, len(node.keys)):
+                if len(out) >= limit:
+                    return
+                addr = node.values[i]
+                self.ctx.touch(addr, self.value_size)
+                out.append(self._store[addr])
+            return
+        slot = self._find_slot(node, start_key)
+        for child in node.children[slot:]:
+            if len(out) >= limit:
+                return
+            self._scan_into(child, start_key, limit, out)
+
+    # -- insertion machinery ----------------------------------------------------------
+
+    def _insert_nonfull(self, node: _Node, key: bytes, value: bytes) -> None:
+        self._touch_node(node, write=True)
+        slot = self._find_slot(node, key)
+        if node.leaf:
+            if slot < len(node.keys) and node.keys[slot] == key:
+                addr = node.values[slot]
+                self.ctx.touch(addr, self.value_size, write=True)
+                self._store[addr] = bytes(value)
+                return
+            addr = self.ctx.malloc(self.value_size)
+            self.ctx.touch(addr, self.value_size, write=True)
+            self._store[addr] = bytes(value)
+            node.keys.insert(slot, key)
+            node.values.insert(slot, addr)
+            self.count += 1
+            self.ctx.compute(len(node.keys) - slot)   # shift cost
+            return
+        if slot < len(node.keys) and node.keys[slot] == key:
+            slot += 1
+        child = node.children[slot]
+        if len(child.keys) >= ORDER:
+            self._split_child(node, slot)
+            if key > node.keys[slot]:
+                slot += 1
+        self._insert_nonfull(node.children[slot], key, value)
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        child = parent.children[index]
+        mid = len(child.keys) // 2
+        sibling = self._new_node(leaf=child.leaf)
+        mid_key = child.keys[mid]
+        if child.leaf:
+            sibling.keys = child.keys[mid:]
+            sibling.values = child.values[mid:]
+            child.keys = child.keys[:mid]
+            child.values = child.values[:mid]
+        else:
+            sibling.keys = child.keys[mid + 1:]
+            sibling.children = child.children[mid + 1:]
+            child.keys = child.keys[:mid]
+            child.children = child.children[:mid + 1]
+        parent.keys.insert(index, mid_key)
+        parent.children.insert(index + 1, sibling)
+        self._touch_node(child, write=True)
+        self._touch_node(sibling, write=True)
+        self._touch_node(parent, write=True)
+        self.ctx.compute(ORDER * 4)
+
+    # -- introspection (tests) -----------------------------------------------------------
+
+    def depth(self) -> int:
+        node, d = self.root, 1
+        while not node.leaf:
+            node = node.children[0]
+            d += 1
+        return d
+
+    def check_invariants(self) -> None:
+        """Every node's keys sorted; leaf depth uniform; order respected."""
+        depths: set[int] = set()
+
+        def walk(node: _Node, d: int, lo: bytes | None, hi: bytes | None):
+            assert node.keys == sorted(node.keys), "unsorted node"
+            assert len(node.keys) <= ORDER, "overfull node"
+            for k in node.keys:
+                if lo is not None:
+                    assert k >= lo
+                if hi is not None:
+                    assert k < hi or node.leaf and k <= hi
+            if node.leaf:
+                assert len(node.values) == len(node.keys)
+                depths.add(d)
+                return
+            assert len(node.children) == len(node.keys) + 1
+            bounds = [None] + node.keys + [None]
+            for i, child in enumerate(node.children):
+                walk(child, d + 1, bounds[i], bounds[i + 1])
+
+        walk(self.root, 1, None, None)
+        assert len(depths) == 1, "leaves at unequal depth"

@@ -1,0 +1,135 @@
+"""LMBench-style OS micro-operations (Table 3 / Appendix A.2).
+
+Measures the primary OS's primitive costs natively and inside the normal
+VM, in cycles, converted to microseconds at the evaluation clock.  The
+virtualization overhead comes from NPT fills on fresh guest mappings —
+kept tiny by huge NPT pages, hence the paper's <1% result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.hw.machine import Machine
+from repro.hw.phys import PAGE_SIZE
+from repro.osim.kernel import Kernel
+from repro.osim.net import Loopback
+
+CPU_GHZ = 2.2      # EPYC 7601 base clock
+
+
+def cycles_to_us(cycles: float) -> float:
+    """Convert simulated cycles to microseconds at the box's clock."""
+    return cycles / (CPU_GHZ * 1000.0)
+
+
+@dataclass(frozen=True)
+class MicroResult:
+    """One micro-op measurement."""
+
+    name: str
+    cycles: float
+
+    @property
+    def microseconds(self) -> float:
+        return cycles_to_us(self.cycles)
+
+
+def _measure(machine: Machine, op: Callable[[], None],
+             iterations: int) -> float:
+    with machine.cycles.measure() as span:
+        for _ in range(iterations):
+            op()
+    return span.elapsed / iterations
+
+
+def null_call(machine: Machine, kernel: Kernel,
+              iterations: int = 50) -> MicroResult:
+    """getpid(): pure syscall round trip."""
+    return MicroResult("null_call", _measure(
+        machine, lambda: kernel.charge_syscall(40), iterations))
+
+
+def fork_proc(machine: Machine, kernel: Kernel,
+              iterations: int = 10) -> MicroResult:
+    """fork+exit: process creation with a copied address space."""
+    def op():
+        child = kernel.spawn()
+        kernel.mmap(child, 32 * PAGE_SIZE, populate=True)
+        kernel.charge_syscall(4000)          # COW setup, fd table, etc.
+        kernel.exit(child)
+
+    return MicroResult("fork", _measure(machine, op, iterations))
+
+
+def context_switch(machine: Machine, kernel: Kernel,
+                   iterations: int = 50) -> MicroResult:
+    """Round-robin switches among a pool of processes."""
+    pool = [kernel.spawn() for _ in range(4)]
+    result = MicroResult("ctxsw", _measure(
+        machine, lambda: kernel.schedule(), iterations))
+    for p in pool:
+        kernel.exit(p)
+    return result
+
+
+def mmap_op(machine: Machine, kernel: Kernel,
+            iterations: int = 5, pages: int = 512) -> MicroResult:
+    """mmap+touch+munmap of a multi-megabyte region."""
+    process = kernel.spawn()
+
+    def op():
+        vma = kernel.mmap(process, pages * PAGE_SIZE, populate=True)
+        kernel.munmap(process, vma)
+
+    result = MicroResult("mmap", _measure(machine, op, iterations))
+    kernel.exit(process)
+    return result
+
+
+def page_fault(machine: Machine, kernel: Kernel,
+               iterations: int = 50) -> MicroResult:
+    """Minor fault on an untouched anonymous page."""
+    process = kernel.spawn()
+    vma = kernel.mmap(process, (iterations + 4) * PAGE_SIZE, populate=False)
+    pages = iter(range(iterations + 4))
+
+    def op():
+        kernel.handle_user_fault(process, vma.start + next(pages) * PAGE_SIZE)
+
+    result = MicroResult("page_fault", _measure(machine, op, iterations))
+    kernel.exit(process)
+    return result
+
+
+def af_unix(machine: Machine, kernel: Kernel,
+            iterations: int = 30) -> MicroResult:
+    """One token bounced over a local socket pair."""
+    loopback = Loopback(machine)
+    loopback.listen(1)
+    conn = loopback.connect(1)
+    loopback.accept(1)
+
+    def op():
+        kernel.charge_syscall(0)
+        loopback.send(conn, b"x", from_client=True)
+        kernel.charge_syscall(0)
+        loopback.recv(conn, from_client=True)
+
+    return MicroResult("af_unix", _measure(machine, op, iterations))
+
+
+ALL_OPS = {
+    "null_call": null_call,
+    "fork": fork_proc,
+    "ctxsw": context_switch,
+    "mmap": mmap_op,
+    "page_fault": page_fault,
+    "af_unix": af_unix,
+}
+
+
+def run_suite(machine: Machine, kernel: Kernel) -> dict[str, MicroResult]:
+    """Run every micro-op once; returns name -> result."""
+    return {name: op(machine, kernel) for name, op in ALL_OPS.items()}

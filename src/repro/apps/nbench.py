@@ -1,0 +1,373 @@
+"""NBench (BYTEmark) kernels, as ported to SGX by SGX-NBench (Fig 8a).
+
+Ten kernels covering integer, FP and memory behaviour.  Each kernel runs
+its *real* algorithm (tests check the results) while charging compute
+cycles per abstract operation and memory-system costs per data access, so
+a protected run differs from a native run exactly by the memory
+encryption, paging, and interrupt effects the platform imposes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+_WORD = 8
+
+
+def _rng(seed: int) -> random.Random:
+    return random.Random((0x4E42 << 16) ^ seed)   # "NB" tag + user seed
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Outcome of one kernel run."""
+
+    name: str
+    checksum: int
+    ops: int
+
+
+def numeric_sort(ctx, seed: int = 1, n: int = 1200) -> KernelResult:
+    """Heapsort over random 64-bit integers."""
+    rng = _rng(seed)
+    data = [rng.getrandbits(32) for _ in range(n)]
+    base = ctx.malloc(n * _WORD)
+
+    def sift(heap, start, end):
+        root = start
+        while 2 * root + 1 <= end:
+            child = 2 * root + 1
+            ctx.touch(base + child * _WORD)
+            ctx.compute(3)
+            if child + 1 <= end and heap[child] < heap[child + 1]:
+                child += 1
+            if heap[root] < heap[child]:
+                heap[root], heap[child] = heap[child], heap[root]
+                ctx.touch(base + root * _WORD, write=True)
+                root = child
+            else:
+                return
+
+    heap = list(data)
+    for start in range(n // 2 - 1, -1, -1):
+        sift(heap, start, n - 1)
+    for end in range(n - 1, 0, -1):
+        heap[end], heap[0] = heap[0], heap[end]
+        ctx.touch(base + end * _WORD, write=True)
+        sift(heap, 0, end - 1)
+
+    assert heap == sorted(data)
+    return KernelResult("numeric_sort", sum(heap[:16]) & 0xFFFFFFFF, n)
+
+
+def string_sort(ctx, seed: int = 1, n: int = 400) -> KernelResult:
+    """Merge sort over random strings."""
+    rng = _rng(seed)
+    strings = ["".join(chr(rng.randrange(97, 123))
+                       for _ in range(rng.randrange(4, 20)))
+               for _ in range(n)]
+    base = ctx.malloc(n * 24)
+
+    def merge_sort(items, offset):
+        if len(items) <= 1:
+            return items
+        mid = len(items) // 2
+        left = merge_sort(items[:mid], offset)
+        right = merge_sort(items[mid:], offset + mid)
+        merged = []
+        i = j = 0
+        while i < len(left) and j < len(right):
+            ctx.compute(8)
+            ctx.touch(base + (offset + i + j) * 24)
+            if left[i] <= right[j]:
+                merged.append(left[i]); i += 1
+            else:
+                merged.append(right[j]); j += 1
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged
+
+    result = merge_sort(strings, 0)
+    assert result == sorted(strings)
+    checksum = sum(ord(s[0]) for s in result[:64])
+    return KernelResult("string_sort", checksum, n)
+
+
+def bitfield(ctx, seed: int = 1, n_ops: int = 4000) -> KernelResult:
+    """Random set/clear/complement of bit runs in a bitmap."""
+    rng = _rng(seed)
+    bits = 1 << 15
+    bitmap = bytearray(bits // 8)
+    base = ctx.malloc(len(bitmap))
+    for _ in range(n_ops):
+        op = rng.randrange(3)
+        start = rng.randrange(bits - 64)
+        length = rng.randrange(1, 64)
+        for bit in range(start, start + length):
+            byte, shift = divmod(bit, 8)
+            if op == 0:
+                bitmap[byte] |= 1 << shift
+            elif op == 1:
+                bitmap[byte] &= ~(1 << shift) & 0xFF
+            else:
+                bitmap[byte] ^= 1 << shift
+        ctx.touch(base + start // 8, length // 8 + 1, write=True)
+        ctx.compute(length)
+    checksum = sum(bitmap) & 0xFFFFFFFF
+    return KernelResult("bitfield", checksum, n_ops)
+
+
+def fp_emulation(ctx, seed: int = 1, n: int = 2500) -> KernelResult:
+    """Software floating point: fixed-point multiply/divide loops."""
+    rng = _rng(seed)
+    acc = 0
+    for _ in range(n):
+        a = rng.getrandbits(32) | 1
+        b = rng.getrandbits(32) | 1
+        # Emulated FP multiply: 32x32 -> 64 with normalization.
+        product = (a * b) >> 32
+        quotient = ((a << 32) // b) & 0xFFFFFFFF
+        acc = (acc + product + quotient) & 0xFFFFFFFF
+        ctx.compute(24)
+    return KernelResult("fp_emulation", acc, n)
+
+
+def fourier(ctx, seed: int = 1, n_coeffs: int = 24) -> KernelResult:
+    """Fourier coefficients of f(x)=(x+1)^x by trapezoid integration."""
+    def f(x):
+        return (x + 1.0) ** x
+
+    steps = 60
+    interval = 2.0
+
+    def integrate(g):
+        h = interval / steps
+        total = (g(1e-9) + g(interval)) / 2.0
+        for i in range(1, steps):
+            total += g(i * h)
+            ctx.compute(12)
+        return total * h
+
+    coeffs = [integrate(f) / interval]
+    checksum = 0.0
+    for k in range(1, n_coeffs):
+        omega = 2.0 * math.pi * k / interval
+        a_k = integrate(lambda x: f(x) * math.cos(omega * x)) * 2 / interval
+        b_k = integrate(lambda x: f(x) * math.sin(omega * x)) * 2 / interval
+        coeffs.append((a_k, b_k))
+        checksum += a_k + b_k
+    return KernelResult("fourier", int(abs(checksum) * 1000) & 0xFFFFFFFF,
+                        n_coeffs * steps)
+
+
+def assignment(ctx, seed: int = 1, size: int = 24) -> KernelResult:
+    """The assignment problem via greedy row reduction + augmentation."""
+    rng = _rng(seed)
+    cost = [[rng.randrange(1, 1000) for _ in range(size)]
+            for _ in range(size)]
+    base = ctx.malloc(size * size * _WORD)
+    # Hungarian-style row/column reduction.
+    for i in range(size):
+        row_min = min(cost[i])
+        for j in range(size):
+            cost[i][j] -= row_min
+            ctx.touch(base + (i * size + j) * _WORD, write=True)
+        ctx.compute(size * 2)
+    for j in range(size):
+        col_min = min(cost[i][j] for i in range(size))
+        for i in range(size):
+            cost[i][j] -= col_min
+        ctx.compute(size * 2)
+    # Greedy zero assignment.
+    assigned = [-1] * size
+    used_cols: set[int] = set()
+    for i in range(size):
+        for j in range(size):
+            ctx.compute(1)
+            if cost[i][j] == 0 and j not in used_cols:
+                assigned[i] = j
+                used_cols.add(j)
+                break
+    checksum = sum(j for j in assigned if j >= 0)
+    return KernelResult("assignment", checksum, size * size)
+
+
+def idea_cipher(ctx, seed: int = 1, n_blocks: int = 400) -> KernelResult:
+    """IDEA-style ARX rounds over 64-bit blocks (encrypt/decrypt check)."""
+    rng = _rng(seed)
+    key = [rng.getrandbits(16) | 1 for _ in range(8)]
+
+    def mul(a, b):
+        return (a * b) % 0x10001 if a and b else (1 - a - b) % 0x10001
+
+    def encrypt_block(x):
+        x1, x2, x3, x4 = ((x >> 48) & 0xFFFF, (x >> 32) & 0xFFFF,
+                          (x >> 16) & 0xFFFF, x & 0xFFFF)
+        for r in range(8):
+            x1 = mul(x1, key[r % 8])
+            x2 = (x2 + key[(r + 1) % 8]) & 0xFFFF
+            x3 = (x3 + key[(r + 2) % 8]) & 0xFFFF
+            x4 = mul(x4, key[(r + 3) % 8])
+            x2, x3 = x3, x2
+            ctx.compute(10)
+        return (x1 << 48) | (x2 << 32) | (x3 << 16) | x4
+
+    checksum = 0
+    base = ctx.malloc(n_blocks * 8)
+    for i in range(n_blocks):
+        block = rng.getrandbits(64)
+        ctx.touch(base + i * 8)
+        checksum ^= encrypt_block(block)
+    return KernelResult("idea", checksum & 0xFFFFFFFF, n_blocks * 8)
+
+
+def huffman(ctx, seed: int = 1, length: int = 4000) -> KernelResult:
+    """Huffman compression: build tree, encode, decode, verify."""
+    import heapq
+    rng = _rng(seed)
+    text = bytes(rng.choices(range(32, 96),
+                             weights=[1 + (i % 7) * 5 for i in range(64)],
+                             k=length))
+    freq: dict[int, int] = {}
+    for b in text:
+        freq[b] = freq.get(b, 0) + 1
+        ctx.compute(2)
+    heap = [(f, i, (sym, None, None)) for i, (sym, f) in
+            enumerate(sorted(freq.items()))]
+    heapq.heapify(heap)
+    counter = len(heap)
+    while len(heap) > 1:
+        f1, _, n1 = heapq.heappop(heap)
+        f2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (f1 + f2, counter, (None, n1, n2)))
+        counter += 1
+        ctx.compute(20)
+    codes: dict[int, str] = {}
+
+    def walk(node, prefix):
+        sym, left, right = node
+        if sym is not None:
+            codes[sym] = prefix or "0"
+            return
+        walk(left, prefix + "0")
+        walk(right, prefix + "1")
+
+    walk(heap[0][2], "")
+    encoded = "".join(codes[b] for b in text)
+    ctx.compute(len(encoded))
+    base = ctx.malloc(len(encoded) // 8 + 1)
+    ctx.touch_sequential(base, len(encoded) // 8 + 1, write=True)
+
+    # Decode and verify.
+    reverse = {v: k for k, v in codes.items()}
+    decoded = bytearray()
+    token = ""
+    for bit in encoded:
+        token += bit
+        if token in reverse:
+            decoded.append(reverse[token])
+            token = ""
+    ctx.compute(len(encoded))
+    assert bytes(decoded) == text
+    return KernelResult("huffman", len(encoded) & 0xFFFFFFFF, length)
+
+
+def neural_net(ctx, seed: int = 1, epochs: int = 12) -> KernelResult:
+    """A small MLP with backprop on a XOR-ish dataset."""
+    rng = _rng(seed)
+    n_in, n_hidden, n_out = 8, 8, 4
+    w1 = [[rng.uniform(-0.5, 0.5) for _ in range(n_in)]
+          for _ in range(n_hidden)]
+    w2 = [[rng.uniform(-0.5, 0.5) for _ in range(n_hidden)]
+          for _ in range(n_out)]
+    samples = [([rng.choice((0.0, 1.0)) for _ in range(n_in)], None)
+               for _ in range(16)]
+    samples = [(x, [x[0] != x[1], x[2] != x[3], x[4] != x[5],
+                    x[6] != x[7]]) for x, _ in samples]
+
+    def sigmoid(v):
+        return 1.0 / (1.0 + math.exp(-v))
+
+    err = 0.0
+    for _ in range(epochs):
+        err = 0.0
+        for x, target in samples:
+            hidden = [sigmoid(sum(w * xi for w, xi in zip(row, x)))
+                      for row in w1]
+            out = [sigmoid(sum(w * h for w, h in zip(row, hidden)))
+                   for row in w2]
+            ctx.compute(n_in * n_hidden + n_hidden * n_out)
+            deltas_out = [(float(t) - o) * o * (1 - o)
+                          for o, t in zip(out, target)]
+            for i, row in enumerate(w2):
+                for j in range(n_hidden):
+                    row[j] += 0.3 * deltas_out[i] * hidden[j]
+            deltas_hidden = [
+                h * (1 - h) * sum(deltas_out[k] * w2[k][j]
+                                  for k in range(n_out))
+                for j, h in enumerate(hidden)]
+            for j, row in enumerate(w1):
+                for i in range(n_in):
+                    row[i] += 0.3 * deltas_hidden[j] * x[i]
+            ctx.compute(n_in * n_hidden + n_hidden * n_out)
+            err += sum((float(t) - o) ** 2 for o, t in zip(out, target))
+    return KernelResult("neural_net", int(err * 10000) & 0xFFFFFFFF,
+                        epochs * len(samples))
+
+
+def lu_decomposition(ctx, seed: int = 1, size: int = 20) -> KernelResult:
+    """LU decomposition with partial pivoting; verifies P*A = L*U."""
+    rng = _rng(seed)
+    a = [[rng.uniform(1.0, 10.0) for _ in range(size)] for _ in range(size)]
+    orig = [row[:] for row in a]
+    base = ctx.malloc(size * size * _WORD)
+    perm = list(range(size))
+    for col in range(size):
+        pivot = max(range(col, size), key=lambda r: abs(a[r][col]))
+        if pivot != col:
+            a[col], a[pivot] = a[pivot], a[col]
+            perm[col], perm[pivot] = perm[pivot], perm[col]
+        for row in range(col + 1, size):
+            factor = a[row][col] / a[col][col]
+            a[row][col] = factor
+            for k in range(col + 1, size):
+                a[row][k] -= factor * a[col][k]
+                ctx.touch(base + (row * size + k) * _WORD, write=True)
+            ctx.compute(2 * (size - col))
+    # Verify: reconstruct row ``check_row`` of P*A from L*U.
+    check_row = rng.randrange(size)
+    recon = []
+    for j in range(size):
+        total = 0.0
+        for k in range(check_row + 1):
+            l_entry = a[check_row][k] if k < check_row else 1.0
+            u_entry = a[k][j] if j >= k else 0.0
+            total += l_entry * u_entry
+        recon.append(total)
+    for j in range(size):
+        assert abs(recon[j] - orig[perm[check_row]][j]) < 1e-6
+    checksum = int(sum(abs(a[i][i]) for i in range(size)) * 100)
+    return KernelResult("lu_decomposition", checksum & 0xFFFFFFFF,
+                        size ** 3 // 3)
+
+
+KERNELS: dict[str, Callable] = {
+    "numeric_sort": numeric_sort,
+    "string_sort": string_sort,
+    "bitfield": bitfield,
+    "fp_emulation": fp_emulation,
+    "fourier": fourier,
+    "assignment": assignment,
+    "idea": idea_cipher,
+    "huffman": huffman,
+    "neural_net": neural_net,
+    "lu_decomposition": lu_decomposition,
+}
+
+
+def run_kernel(ctx, name: str, seed: int = 1) -> KernelResult:
+    """Run one NBench kernel under ``ctx``."""
+    return KERNELS[name](ctx, seed)

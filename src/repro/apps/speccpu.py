@@ -1,0 +1,251 @@
+"""SPEC CPU 2017 INTSpeed-like kernels (Figure 10).
+
+Ten small kernels named after the INTSpeed suite, each a real (reduced)
+algorithm in the spirit of its namesake.  They run under a context
+(native or normal-VM) and the Figure 10 driver compares the two — the
+virtualization overhead comes from timer-tick VM exits and NPT fills.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.apps.nbench import KernelResult
+
+
+def _rng(seed: int) -> random.Random:
+    return random.Random(0x53504543 ^ seed)
+
+
+def perlbench(ctx, seed: int = 1) -> KernelResult:
+    """Regex-ish string scanning and substitution."""
+    rng = _rng(seed)
+    text = "".join(rng.choice("abcdefgh ") for _ in range(8000))
+    pattern = "abc"
+    hits = 0
+    for i in range(len(text) - len(pattern)):
+        ctx.compute(2)
+        if text[i:i + 3] == pattern:
+            hits += 1
+    return KernelResult("600.perlbench_s", hits, len(text))
+
+
+def gcc(ctx, seed: int = 1) -> KernelResult:
+    """Expression-tree construction and constant folding."""
+    rng = _rng(seed)
+
+    def build(depth):
+        ctx.compute(4)
+        if depth == 0:
+            return rng.randrange(100)
+        op = rng.choice("+-*")
+        return (op, build(depth - 1), build(depth - 1))
+
+    def fold(node):
+        if isinstance(node, int):
+            return node
+        op, lhs, rhs = node
+        lhs, rhs = fold(lhs), fold(rhs)
+        ctx.compute(3)
+        if op == "+":
+            return (lhs + rhs) & 0xFFFFFFFF
+        if op == "-":
+            return (lhs - rhs) & 0xFFFFFFFF
+        return (lhs * rhs) & 0xFFFFFFFF
+
+    total = sum(fold(build(10)) for _ in range(4)) & 0xFFFFFFFF
+    return KernelResult("602.gcc_s", total, 4 << 10)
+
+
+def mcf(ctx, seed: int = 1) -> KernelResult:
+    """Shortest paths (Bellman-Ford-ish relaxation) on a random graph."""
+    rng = _rng(seed)
+    n = 120
+    edges = [(rng.randrange(n), rng.randrange(n), rng.randrange(1, 50))
+             for _ in range(n * 6)]
+    dist = [10 ** 9] * n
+    dist[0] = 0
+    base = ctx.malloc(n * 8)
+    for _ in range(24):
+        changed = False
+        for u, v, w in edges:
+            ctx.compute(3)
+            ctx.touch(base + v * 8)
+            if dist[u] + w < dist[v]:
+                dist[v] = dist[u] + w
+                changed = True
+        if not changed:
+            break
+    reachable = sum(1 for d in dist if d < 10 ** 9)
+    return KernelResult("605.mcf_s", reachable, len(edges) * 24)
+
+
+def omnetpp(ctx, seed: int = 1) -> KernelResult:
+    """Discrete-event simulation over a priority queue."""
+    import heapq
+    rng = _rng(seed)
+    queue = [(rng.random() * 100, i) for i in range(64)]
+    heapq.heapify(queue)
+    fired = 0
+    now = 0.0
+    while queue and fired < 3000:
+        now, node = heapq.heappop(queue)
+        fired += 1
+        ctx.compute(12)
+        if rng.random() < 0.7:
+            heapq.heappush(queue, (now + rng.random() * 10, node))
+    return KernelResult("620.omnetpp_s", fired, fired)
+
+
+def xalancbmk(ctx, seed: int = 1) -> KernelResult:
+    """Tree transformation (XSLT-ish): rewrite a nested structure."""
+    rng = _rng(seed)
+
+    def build(depth):
+        if depth == 0:
+            return rng.randrange(10)
+        return [build(depth - 1) for _ in range(3)]
+
+    def transform(node):
+        ctx.compute(5)
+        if isinstance(node, int):
+            return node * 2 + 1
+        return [transform(child) for child in reversed(node)]
+
+    tree = build(7)
+    out = transform(tree)
+
+    def total(node):
+        return node if isinstance(node, int) else sum(map(total, node))
+
+    return KernelResult("623.xalancbmk_s", total(out) & 0xFFFFFFFF, 3 ** 7)
+
+
+def x264(ctx, seed: int = 1) -> KernelResult:
+    """Motion estimation: SAD search over small frames."""
+    rng = _rng(seed)
+    width = 64
+    frame_a = [rng.randrange(256) for _ in range(width * width)]
+    frame_b = [min(255, p + rng.randrange(8)) for p in frame_a]
+    base = ctx.malloc(width * width * 2)
+    best = 0
+    for bx in range(0, width - 8, 8):
+        best_sad = 10 ** 9
+        for dx in range(-4, 5, 2):
+            sad = 0
+            for i in range(8):
+                a = frame_a[bx + i]
+                b = frame_b[max(0, min(width * width - 1, bx + i + dx))]
+                sad += abs(a - b)
+            ctx.compute(24)
+            ctx.touch(base + bx * 2, 16)
+            if sad < best_sad:
+                best_sad = sad
+        best += best_sad
+    return KernelResult("625.x264_s", best & 0xFFFFFFFF, width * 5)
+
+
+def deepsjeng(ctx, seed: int = 1) -> KernelResult:
+    """Alpha-beta minimax over a random game tree."""
+    rng = _rng(seed)
+
+    def search(depth, alpha, beta):
+        ctx.compute(6)
+        if depth == 0:
+            return rng.randrange(-100, 101)
+        best = -10 ** 9
+        for _ in range(4):
+            score = -search(depth - 1, -beta, -alpha)
+            best = max(best, score)
+            alpha = max(alpha, score)
+            if alpha >= beta:
+                break
+        return best
+
+    value = search(6, -10 ** 9, 10 ** 9)
+    return KernelResult("631.deepsjeng_s", value & 0xFFFFFFFF, 4 ** 6)
+
+
+def leela(ctx, seed: int = 1) -> KernelResult:
+    """Monte-Carlo playouts with win-count statistics."""
+    rng = _rng(seed)
+    wins = 0
+    playouts = 600
+    for _ in range(playouts):
+        score = 0
+        for _ in range(30):
+            score += rng.choice((-1, 1))
+            ctx.compute(4)
+        wins += score > 0
+    return KernelResult("641.leela_s", wins, playouts * 30)
+
+
+def exchange2(ctx, seed: int = 1) -> KernelResult:
+    """Backtracking fill of a constraint grid (sudoku-like)."""
+    rng = _rng(seed)
+    size = 6
+    grid = [[0] * size for _ in range(size)]
+    attempts = [0]
+
+    def ok(r, c, v):
+        ctx.compute(size * 2)
+        return all(grid[r][j] != v for j in range(size)) and \
+            all(grid[i][c] != v for i in range(size))
+
+    def solve(cell):
+        if cell == size * size:
+            return True
+        r, c = divmod(cell, size)
+        values = list(range(1, size + 1))
+        rng.shuffle(values)
+        for v in values:
+            attempts[0] += 1
+            if ok(r, c, v):
+                grid[r][c] = v
+                if solve(cell + 1):
+                    return True
+                grid[r][c] = 0
+        return False
+
+    solved = solve(0)
+    return KernelResult("648.exchange2_s", int(solved), attempts[0])
+
+
+def xz(ctx, seed: int = 1) -> KernelResult:
+    """LZ77-style compression with a greedy match finder."""
+    rng = _rng(seed)
+    data = bytes(rng.choice(b"aabbbcabc") for _ in range(6000))
+    out_tokens = 0
+    i = 0
+    base = ctx.malloc(len(data))
+    while i < len(data):
+        best_len = 0
+        start = max(0, i - 255)
+        for j in range(start, i):
+            length = 0
+            while (i + length < len(data) and length < 255
+                   and data[j + length] == data[i + length]
+                   and j + length < i):
+                length += 1
+            if length > best_len:
+                best_len = length
+        ctx.compute(min(i - start, 255) + 4)
+        ctx.touch(base + i, max(best_len, 1))
+        out_tokens += 1
+        i += max(best_len, 1)
+    return KernelResult("657.xz_s", out_tokens, len(data))
+
+
+KERNELS: dict[str, Callable] = {
+    "600.perlbench_s": perlbench,
+    "602.gcc_s": gcc,
+    "605.mcf_s": mcf,
+    "620.omnetpp_s": omnetpp,
+    "623.xalancbmk_s": xalancbmk,
+    "625.x264_s": x264,
+    "631.deepsjeng_s": deepsjeng,
+    "641.leela_s": leela,
+    "648.exchange2_s": exchange2,
+    "657.xz_s": xz,
+}

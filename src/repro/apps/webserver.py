@@ -1,0 +1,147 @@
+"""An HTTP/1.0-with-keepalive file server (the Lighttpd stand-in, Fig 8c).
+
+The server is plain Python against the :class:`~repro.libos.base.Libos`
+interface, so the same code runs inside an enclave (OcclumLibos: FS
+in-enclave, sockets as OCALLs) and natively (NativeLibos: syscalls).
+``make_http_enclave_image`` wraps it into an SDK enclave image.
+"""
+
+from __future__ import annotations
+
+from repro.libos.base import LIBOS_EDL_UNTRUSTED, Libos
+
+_PARSE_CYCLES_PER_BYTE = 0.6
+_RESPONSE_BUILD_CYCLES = 450
+
+HTTP_PORT = 80
+
+
+class HttpServer:
+    """A single-threaded document server."""
+
+    def __init__(self, libos: Libos, compute, port: int = HTTP_PORT) -> None:
+        self.libos = libos
+        self.compute = compute            # cycle-charging callable
+        self.port = port
+        self.libos.listen(port)
+        self.requests_served = 0
+        self.errors = 0
+
+    def load_document(self, path: str, content: bytes) -> None:
+        self.libos.write_file(path, content)
+
+    def accept(self) -> int:
+        return self.libos.accept(self.port)
+
+    def handle_request(self, conn: int) -> int:
+        """Serve one request on an established connection.
+
+        Returns the response size, or 0 when the connection is idle.
+        """
+        request = self.libos.recv(conn)
+        if request is None:
+            return 0
+        self.compute(len(request) * _PARSE_CYCLES_PER_BYTE)
+        method, path, ok = self._parse(request)
+        if not ok or method != b"GET":
+            self.errors += 1
+            response = _response(400, b"bad request")
+        elif not self.libos.exists(path.decode("latin-1")):
+            self.errors += 1
+            response = _response(404, b"not found")
+        else:
+            body = self.libos.read_file(path.decode("latin-1"))
+            self.compute(_RESPONSE_BUILD_CYCLES)
+            response = _response(200, body)
+        self.libos.send(conn, response)
+        self.requests_served += 1
+        return len(response)
+
+    @staticmethod
+    def _parse(request: bytes) -> tuple[bytes, bytes, bool]:
+        try:
+            line = request.split(b"\r\n", 1)[0]
+            method, path, version = line.split(b" ")
+        except ValueError:
+            return b"", b"", False
+        if not version.startswith(b"HTTP/"):
+            return b"", b"", False
+        return method, path, True
+
+
+def _response(status: int, body: bytes) -> bytes:
+    reason = {200: b"OK", 400: b"Bad Request", 404: b"Not Found"}[status]
+    return (b"HTTP/1.0 %d %s\r\nContent-Length: %d\r\n"
+            b"Connection: keep-alive\r\n\r\n" % (status, reason, len(body))
+            + body)
+
+
+def http_request(path: str) -> bytes:
+    """Build a client GET request."""
+    return (b"GET " + path.encode() + b" HTTP/1.0\r\n"
+            b"Host: localhost\r\nUser-Agent: ab/2.4\r\n\r\n")
+
+
+def parse_response(response: bytes) -> tuple[int, bytes]:
+    """Returns (status, body)."""
+    head, _, body = response.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body
+
+
+# ---------------------------------------------------------------- enclave --
+
+HTTP_EDL = """
+enclave {
+    trusted {
+        public uint64 http_init(uint64 port);
+        public uint64 http_load([in, size=plen] bytes path, uint64 plen,
+                                [in, size=n] bytes doc, uint64 n);
+        public uint64 http_accept(uint64 port);
+        public uint64 http_serve(uint64 conn);
+    };
+    untrusted {
+""" + LIBOS_EDL_UNTRUSTED + """
+    };
+};
+"""
+
+
+def t_http_init(ctx, port):
+    """ECALL: construct the in-enclave server under the LibOS."""
+    from repro.libos.occlum import OcclumLibos
+    libos = OcclumLibos(ctx)
+    ctx.globals["http"] = HttpServer(libos, ctx.compute, int(port))
+    return 0
+
+
+def t_http_load(ctx, path, plen, doc, n):
+    """ECALL: store one document in the in-enclave filesystem."""
+    server: HttpServer = ctx.globals["http"]
+    server.load_document(path.decode("latin-1"), doc)
+    return 0
+
+
+def t_http_accept(ctx, port):
+    """ECALL: accept one client connection."""
+    server: HttpServer = ctx.globals["http"]
+    return server.accept()
+
+
+def t_http_serve(ctx, conn):
+    """ECALL: serve one pending request."""
+    server: HttpServer = ctx.globals["http"]
+    return server.handle_request(int(conn))
+
+
+def make_http_enclave_image(mode, *, heap_size: int = 64 * 1024 * 1024,
+                            msbuf_size: int = 1024 * 1024):
+    """An enclave image running the HTTP server under the LibOS."""
+    from repro.monitor.structs import EnclaveConfig
+    from repro.sdk.image import EnclaveImage
+    return EnclaveImage.build(
+        "lighttpd-occlum", HTTP_EDL,
+        {"http_init": t_http_init, "http_load": t_http_load,
+         "http_accept": t_http_accept, "http_serve": t_http_serve},
+        EnclaveConfig(mode=mode, heap_size=heap_size,
+                      marshalling_buffer_size=msbuf_size))

@@ -1,0 +1,15 @@
+"""Attack scenarios from the paper's threat model and security analysis.
+
+Each attack is a callable that *attempts* the violation through the same
+interfaces a real attacker would use and reports whether the platform
+blocked it.  The security test-suite asserts every one of these is
+blocked on HyperEnclave; the SGX-model comparisons show which ones the
+baseline design leaves open (enclave malware, Sec 6).
+"""
+
+from repro.attacks.results import AttackResult, run_attack
+from repro.attacks import mapping, malware, dma, rollback, \
+    sidechannel
+
+__all__ = ["AttackResult", "run_attack", "mapping", "malware", "dma",
+           "rollback", "sidechannel"]

@@ -1,0 +1,37 @@
+"""DMA attacks by malicious peripherals (security requirement R-3)."""
+
+from __future__ import annotations
+
+from repro.attacks.results import AttackResult, run_attack
+
+
+def dma_read_enclave_memory(platform, handle) -> AttackResult:
+    """A rogue NIC DMA-reads an enclave frame."""
+
+    def attack() -> str:
+        victim_pa = handle.enclave.pages[0].pa
+        loot = platform.machine.iommu.dma_read("nic", victim_pa, 32)
+        return f"DMA read enclave memory: {loot[:8]!r}..."
+
+    return run_attack("dma: peripheral reads enclave frame", attack)
+
+
+def dma_write_monitor_memory(platform) -> AttackResult:
+    """A rogue device DMA-writes into RustMonitor's reserved region."""
+
+    def attack() -> str:
+        target = platform.machine.config.reserved_base
+        platform.machine.iommu.dma_write("disk", target, b"\x90" * 64)
+        return "DMA overwrote RustMonitor memory"
+
+    return run_attack("dma: peripheral writes monitor memory", attack)
+
+
+def dma_from_unregistered_device(platform) -> AttackResult:
+    """A hot-plugged device with no IOMMU window tries any DMA at all."""
+
+    def attack() -> str:
+        platform.machine.iommu.dma_read("evil-usb", 0x1000, 16)
+        return "unregistered device performed DMA"
+
+    return run_attack("dma: unregistered device", attack)

@@ -1,0 +1,38 @@
+"""Attack outcome reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError, SecurityViolation
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """What happened when an attack ran."""
+
+    name: str
+    blocked: bool
+    detail: str
+
+    def __str__(self) -> str:
+        verdict = "BLOCKED" if self.blocked else "SUCCEEDED"
+        return f"[{verdict}] {self.name}: {self.detail}"
+
+
+def run_attack(name: str, attack: Callable[[], str]) -> AttackResult:
+    """Run an attack function.
+
+    The attack returns a string describing what it *achieved* (attack
+    succeeded), or raises — a :class:`SecurityViolation` (or another
+    simulation error on the attack path) means the platform blocked it.
+    """
+    try:
+        achieved = attack()
+    except SecurityViolation as exc:
+        return AttackResult(name=name, blocked=True, detail=str(exc))
+    except ReproError as exc:
+        return AttackResult(name=name, blocked=True,
+                            detail=f"{type(exc).__name__}: {exc}")
+    return AttackResult(name=name, blocked=False, detail=achieved)

@@ -1,0 +1,52 @@
+"""Boot-time and state-rollback attacks on the trust chain (Sec 3.3, 6)."""
+
+from __future__ import annotations
+
+from repro.attacks.results import AttackResult, run_attack
+from repro.crypto.hashes import sha256
+
+
+def forge_pcr_state(platform) -> AttackResult:
+    """After a tampered boot, try to extend PCRs back to the golden
+    values.  Extends only ever hash forward, so this cannot work — the
+    attack 'succeeds' only if it reproduces a golden PCR value."""
+
+    def attack() -> str:
+        tpm = platform.machine.tpm
+        golden = platform.boot.golden.pcr_values
+        tpm.extend(8, sha256(b"rootkit"))     # the tamper
+        for _ in range(64):
+            tpm.extend(8, sha256(b"search for golden value"))
+            if tpm.read_pcr(8) == golden[8]:
+                return "rolled PCR 8 back to the golden value"
+        raise_unreachable()
+
+    def raise_unreachable():
+        from repro.errors import SecurityViolation
+        raise SecurityViolation(
+            "PCR extends only hash forward: golden value unreachable")
+
+    return run_attack("rollback: forge PCR state by extending", attack)
+
+
+def steal_sealed_root_key(platform) -> AttackResult:
+    """The demoted OS grabs the sealed K_root blob from disk and asks the
+    TPM to unseal it.  The monitor flooded the boot PCRs before handing
+    control over, so the policy can never match again this boot."""
+
+    def attack() -> str:
+        k_root = platform.machine.tpm.unseal(platform.boot.sealed_root_key)
+        return f"unsealed K_root: {k_root[:8].hex()}..."
+
+    return run_attack("rollback: demoted OS unseals K_root", attack)
+
+
+def quote_replay(platform, handle, verifier) -> AttackResult:
+    """Replay an old quote against a verifier that demanded a fresh nonce."""
+
+    def attack() -> str:
+        stale = platform.monitor.quote(handle.enclave_id, b"", b"old-nonce")
+        verifier.verify(stale, expected_nonce=b"fresh-nonce-123")
+        return "verifier accepted a replayed quote"
+
+    return run_attack("rollback: quote replay", attack)

@@ -1,0 +1,58 @@
+"""Finite-field Diffie-Hellman for the attested secure channel.
+
+A classic MODP group (RFC 2409 Oakley group 2, 1024-bit, generator 2) —
+pure-Python ``pow`` makes the exchange a few milliseconds.  Used by
+:mod:`repro.sdk.channel` where local-attestation reports authenticate the
+public values (the SIGMA idea the paper's attestation flow follows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import hkdf, sha256
+
+# RFC 2409, Second Oakley Group (1024-bit MODP).
+P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
+    16)
+G = 2
+
+
+@dataclass(frozen=True)
+class DhKeyPair:
+    """One side's ephemeral exchange key."""
+
+    private: int
+    public: int
+
+    def shared_secret(self, peer_public: int) -> bytes:
+        """The raw shared secret with ``peer_public``."""
+        if not 2 <= peer_public <= P - 2:
+            raise ValueError("peer public value out of range")
+        secret = pow(peer_public, self.private, P)
+        if secret in (1, P - 1):
+            raise ValueError("degenerate shared secret")
+        return secret.to_bytes((P.bit_length() + 7) // 8, "big")
+
+
+def generate_keypair(entropy: bytes) -> DhKeyPair:
+    """Derive an ephemeral key pair from caller-provided entropy."""
+    if len(entropy) < 16:
+        raise ValueError("need at least 128 bits of entropy")
+    private = int.from_bytes(sha256(b"dh-priv", entropy) * 2, "big") % (P - 3)
+    private += 2
+    return DhKeyPair(private=private, public=pow(G, private, P))
+
+
+def public_bytes(public: int) -> bytes:
+    """Fixed-width big-endian encoding of a public value."""
+    return public.to_bytes((P.bit_length() + 7) // 8, "big")
+
+
+def session_key(shared: bytes, transcript: bytes) -> bytes:
+    """Bind the session key to the handshake transcript."""
+    return hkdf(shared, info=b"channel-session" + sha256(transcript))

@@ -1,0 +1,163 @@
+"""Pure-Python RSA signatures (keygen, PKCS#1-v1.5-style sign/verify).
+
+The TPM's EK/AIK and RustMonitor's attestation key are genuine RSA key
+pairs.  Key sizes default to 1024 bits, which keygen handles in well under
+a second with Miller-Rabin; the point is verifiable signatures inside the
+simulation, not production-grade key lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.cipher import Drbg
+from repro.crypto.hashes import sha256
+from repro.errors import AttestationError
+
+# DER prefix for a SHA-256 DigestInfo, as in PKCS#1 v1.5 signatures.
+_SHA256_DIGEST_INFO = bytes.fromhex(
+    "3031300d060960864801650304020105000420")
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+
+
+def _is_probable_prime(n: int, drbg: Drbg, rounds: int = 24) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + int.from_bytes(drbg.read(8), "big") % (n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(bits: int, drbg: Drbg) -> int:
+    while True:
+        candidate = drbg.randint_bits(bits) | 1
+        if _is_probable_prime(candidate, drbg):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """An RSA public key (n, e) with PKCS#1-v1.5-style verification."""
+
+    n: int
+    e: int
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Return True iff ``signature`` is a valid signature of ``message``."""
+        if len(signature) != self.size_bytes:
+            return False
+        s = int.from_bytes(signature, "big")
+        if s >= self.n:
+            return False
+        em = pow(s, self.e, self.n).to_bytes(self.size_bytes, "big")
+        return em == _pad(message, self.size_bytes)
+
+    def fingerprint(self) -> bytes:
+        """SHA-256 over the serialized public key (used in PCR extends)."""
+        return sha256(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        n_bytes = self.n.to_bytes(self.size_bytes, "big")
+        e_bytes = self.e.to_bytes(8, "big")
+        return len(n_bytes).to_bytes(4, "big") + n_bytes + e_bytes
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RsaPublicKey":
+        if len(data) < 12:
+            raise AttestationError("truncated public key")
+        n_len = int.from_bytes(data[:4], "big")
+        if len(data) != 4 + n_len + 8:
+            raise AttestationError("malformed public key")
+        n = int.from_bytes(data[4:4 + n_len], "big")
+        e = int.from_bytes(data[4 + n_len:], "big")
+        return cls(n=n, e=e)
+
+
+def _pad(message: bytes, size: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of SHA256(message)."""
+    t = _SHA256_DIGEST_INFO + sha256(message)
+    if size < len(t) + 11:
+        raise AttestationError("RSA modulus too small for SHA-256 padding")
+    ps = b"\xff" * (size - len(t) - 3)
+    return b"\x00\x01" + ps + b"\x00" + t
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """An RSA key pair; ``sign`` uses the CRT for speed."""
+
+    public: RsaPublicKey
+    d: int
+    p: int
+    q: int
+
+    def sign(self, message: bytes) -> bytes:
+        size = self.public.size_bytes
+        em = int.from_bytes(_pad(message, size), "big")
+        # CRT: compute m^d mod p and mod q, then recombine.
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        qinv = pow(self.q, -1, self.p)
+        m1 = pow(em, dp, self.p)
+        m2 = pow(em, dq, self.q)
+        h = (qinv * (m1 - m2)) % self.p
+        s = m2 + h * self.q
+        return s.to_bytes(size, "big")
+
+
+# Deterministic key pairs are expensive to regenerate; memoize by seed.
+_CACHE: dict[tuple[int, bytes], "RsaKeyPair"] = {}
+
+
+def cached_keypair(seed: bytes, bits: int = 1024) -> "RsaKeyPair":
+    """A deterministic key pair, generated once per (seed, bits)."""
+    key = (bits, seed)
+    if key not in _CACHE:
+        _CACHE[key] = generate_keypair(bits, seed=seed)
+    return _CACHE[key]
+
+
+def generate_keypair(bits: int = 1024, *, seed: bytes | None = None,
+                     e: int = 65537) -> RsaKeyPair:
+    """Generate an RSA key pair; deterministic when ``seed`` is given."""
+    if bits < 512:
+        raise ValueError("RSA keys below 512 bits cannot carry SHA-256 sigs")
+    drbg = Drbg(seed)
+    half = bits // 2
+    while True:
+        p = _generate_prime(half, drbg)
+        q = _generate_prime(bits - half, drbg)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(e, -1, phi)
+        except ValueError:
+            continue
+        return RsaKeyPair(public=RsaPublicKey(n=n, e=e), d=d, p=p, q=q)

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the HyperEnclave reproduction.
+
+Every layer of the stack (hardware, monitor, OS, SDK) raises exceptions
+derived from :class:`ReproError` so callers can catch simulation faults
+separately from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the simulation."""
+
+
+class HardwareError(ReproError):
+    """A fault at the simulated-hardware layer (bad PA, bad frame, ...)."""
+
+
+class PhysicalMemoryError(HardwareError):
+    """Access to an invalid or unowned physical address."""
+
+
+class PageFault(HardwareError):
+    """Raised by the MMU when a translation fails.
+
+    Mirrors the x86 #PF semantics we care about: the faulting virtual
+    address, whether the access was a write / instruction fetch, and
+    whether the fault came from a not-present entry or a protection
+    violation.
+    """
+
+    def __init__(self, vaddr: int, *, write: bool = False, user: bool = True,
+                 present: bool = False, fetch: bool = False) -> None:
+        self.vaddr = vaddr
+        self.write = write
+        self.user = user
+        self.present = present
+        self.fetch = fetch
+        kind = "protection" if present else "not-present"
+        op = "write" if write else ("fetch" if fetch else "read")
+        super().__init__(f"#PF {kind} on {op} at {vaddr:#x}")
+
+
+class NestedPageFault(PageFault):
+    """A fault during the second-dimension (NPT) walk."""
+
+
+class SecurityViolation(ReproError):
+    """An operation the TEE must forbid was attempted.
+
+    These are the checks the paper's security requirements R-1..R-3 and
+    the enclave-malware defenses enforce; the security test-suite asserts
+    they fire.
+    """
+
+
+class TpmError(ReproError):
+    """TPM command failure (bad PCR index, unseal policy mismatch, ...)."""
+
+
+class SealError(TpmError):
+    """Unsealing failed: wrong platform, wrong PCRs, or corrupt blob."""
+
+
+class MonitorError(ReproError):
+    """RustMonitor rejected a hypercall or enclave operation."""
+
+
+class EnclaveError(MonitorError):
+    """Invalid enclave lifecycle operation (bad state, bad page, ...)."""
+
+
+class AttestationError(ReproError):
+    """Quote generation or verification failed."""
+
+
+class OsError(ReproError):
+    """Primary-OS level failure (bad ioctl, bad mmap, no such process)."""
+
+
+class SdkError(ReproError):
+    """Enclave SDK misuse (bad ECALL id, marshalling overflow, ...)."""
+
+
+class EdlError(SdkError):
+    """The EDL parser rejected an interface definition."""

@@ -1,0 +1,46 @@
+"""Simulated hardware platform.
+
+This package is the substrate everything else runs on: a cycle counter,
+physical memory with frame ownership, real 4-level page tables (stored in
+simulated physical memory) with a two-dimensional nested walker, a TLB, an
+LLC cache model, memory-encryption engines (AMD-SME / Intel-MEE style), a
+TPM 2.0 model, an IOMMU, and the CPU privilege-mode model.
+
+The cost constants in :mod:`repro.hw.costs` are calibrated against the
+numbers the HyperEnclave paper publishes (hypercall ~880 cycles, syscall
+~120 cycles, Table 1/2 microbenchmarks); see DESIGN.md.
+"""
+
+from repro.hw.cycles import CycleCounter
+from repro.hw.phys import PhysicalMemory, OwnerKind, PAGE_SIZE
+from repro.hw.paging import PageTable, PageTableFlags, NestedTranslator
+from repro.hw.tlb import Tlb
+from repro.hw.cache import Llc
+from repro.hw.memenc import (EncryptionEngine, NoEncryption, AmdSme,
+                             IntelMee)
+from repro.hw.tpm import Tpm
+from repro.hw.iommu import Iommu
+from repro.hw.cpu import Cpu, CpuMode
+from repro.hw.machine import Machine, MachineConfig
+
+__all__ = [
+    "CycleCounter",
+    "PhysicalMemory",
+    "OwnerKind",
+    "PAGE_SIZE",
+    "PageTable",
+    "PageTableFlags",
+    "NestedTranslator",
+    "Tlb",
+    "Llc",
+    "EncryptionEngine",
+    "NoEncryption",
+    "AmdSme",
+    "IntelMee",
+    "Tpm",
+    "Iommu",
+    "Cpu",
+    "CpuMode",
+    "Machine",
+    "MachineConfig",
+]

@@ -1,0 +1,73 @@
+"""Last-level-cache model.
+
+A set of resident 64-byte lines with LRU eviction.  The workload memory
+model (``repro.hw.memmodel``) and the memory-encryption engines consult it:
+hits cost :data:`~repro.hw.costs.LLC_HIT_CYCLES`, misses cost a DRAM access
+plus whatever the active encryption engine charges per missed line.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.hw import costs
+
+
+class Llc:
+    """LRU cache of line ids (line id = physical/abstract address // 64)."""
+
+    def __init__(self, size_bytes: int = costs.LLC_SIZE,
+                 line_size: int = costs.CACHE_LINE) -> None:
+        if size_bytes < line_size:
+            raise ValueError("cache smaller than one line")
+        self.line_size = line_size
+        self.capacity_lines = size_bytes // line_size
+        self._lines: OrderedDict[int, bool] = OrderedDict()  # line -> dirty
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line_id: int, *, write: bool = False) -> bool:
+        """Touch one line; returns True on hit.  Evicts LRU on fill."""
+        return self.access_ex(line_id, write=write)[0]
+
+    def access_ex(self, line_id: int, *,
+                  write: bool = False) -> tuple[bool, bool]:
+        """Touch one line; returns (hit, evicted_dirty_line).
+
+        The second flag drives the encryption engines' write-back costs:
+        a dirty line leaving the LLC must be re-encrypted (and, for MEE,
+        re-MACed with a counter-tree update).
+        """
+        dirty = self._lines.get(line_id)
+        if dirty is not None:
+            self._lines.move_to_end(line_id)
+            if write and not dirty:
+                self._lines[line_id] = True
+            self.hits += 1
+            return True, False
+        self.misses += 1
+        self._lines[line_id] = write
+        evicted_dirty = False
+        if len(self._lines) > self.capacity_lines:
+            _, evicted_dirty = self._lines.popitem(last=False)
+        return False, evicted_dirty
+
+    def contains(self, line_id: int) -> bool:
+        return line_id in self._lines
+
+    def flush_line(self, line_id: int) -> None:
+        """CLFLUSH: drop one line (the Figure-7 benchmark uses this)."""
+        self._lines.pop(line_id, None)
+
+    def flush_range(self, start: int, length: int) -> None:
+        """CLFLUSH over a byte range of line-addressable memory."""
+        first = start // self.line_size
+        last = (start + max(length - 1, 0)) // self.line_size
+        for line in range(first, last + 1):
+            self._lines.pop(line, None)
+
+    def flush_all(self) -> None:
+        self._lines.clear()
+
+    def __len__(self) -> int:
+        return len(self._lines)

@@ -1,0 +1,92 @@
+"""CPU privilege modes and per-CPU state.
+
+The paper's three system modes map onto VMX operation and rings:
+
+* monitor mode   = VMX root, ring 0   (RustMonitor)
+* normal mode    = VMX non-root, ring 0 / ring 3 (primary OS / apps)
+* secure mode    = guest ring 3 (GU-Enclave), guest ring 0 (P-Enclave),
+                   or host ring 3 (HU-Enclave)
+
+The :class:`Cpu` tracks which context is live and charges the calibrated
+cost of each transition step; the world-switch engine in
+``repro.monitor.world`` drives it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import HardwareError
+from repro.hw import costs
+from repro.hw.cycles import CycleCounter
+from repro.hw.tlb import Tlb
+
+
+class CpuMode(enum.Enum):
+    """Which privilege context is executing."""
+
+    MONITOR = "monitor"          # VMX root, ring 0
+    HOST_USER = "host-user"      # VMX root, ring 3 (HU-Enclave)
+    GUEST_KERNEL = "guest-ring0"  # VMX non-root, ring 0 (primary OS / P-Enclave)
+    GUEST_USER = "guest-ring3"   # VMX non-root, ring 3 (apps / GU-Enclave)
+
+
+@dataclass
+class VcpuState:
+    """The register and address-space state of one virtual CPU context."""
+
+    name: str
+    mode: CpuMode
+    gpt_root: int | None = None    # guest page table root (guest contexts)
+    npt_root: int | None = None    # nested page table root (guest contexts)
+    host_pt_root: int | None = None  # host page table root (host contexts)
+    asid: int = 0
+    regs: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.regs)
+
+
+class Cpu:
+    """One logical CPU: current context, TLB, cycle counter."""
+
+    def __init__(self, cycles: CycleCounter | None = None,
+                 tlb: Tlb | None = None) -> None:
+        self.cycles = cycles or CycleCounter()
+        self.tlb = tlb or Tlb(costs.TLB_ENTRIES)
+        self.current: Optional[VcpuState] = None
+        self.mode: CpuMode = CpuMode.MONITOR
+        self._next_asid = 1
+
+    def allocate_asid(self) -> int:
+        asid = self._next_asid
+        self._next_asid += 1
+        return asid
+
+    def rdtsc(self) -> int:
+        """Read the time-stamp counter (simulated cycles)."""
+        return self.cycles.read()
+
+    # -- context switching ------------------------------------------------------
+
+    def load_context(self, state: VcpuState) -> None:
+        """Make ``state`` the executing context (no cost: callers charge)."""
+        self.current = state
+        self.mode = state.mode
+
+    def charge_steps(self, steps: costs.Steps, category: str) -> int:
+        """Charge an itemized step list; returns the total charged."""
+        total = 0
+        for _, cyc in steps:
+            self.cycles.charge(cyc, category)
+            total += cyc
+        return total
+
+    def require_mode(self, *modes: CpuMode) -> None:
+        """Guard: the executing context must be in one of ``modes``."""
+        if self.mode not in modes:
+            raise HardwareError(
+                f"operation requires mode in {[m.value for m in modes]}, "
+                f"CPU is in {self.mode.value}")

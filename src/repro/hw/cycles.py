@@ -1,0 +1,72 @@
+"""Cycle accounting.
+
+Every simulated hardware or software step charges cycles to the machine's
+:class:`CycleCounter`.  Benchmarks read the counter before and after a
+region of interest; categories let us itemize where time went (world
+switches, page walks, memcpy, encryption, compute, ...).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class CycleCounter:
+    """A monotonically increasing cycle counter with per-category totals."""
+
+    def __init__(self) -> None:
+        self.total: int = 0
+        self.by_category: dict[str, int] = defaultdict(int)
+
+    def charge(self, cycles: float, category: str = "misc") -> None:
+        """Add ``cycles`` to the running total under ``category``."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle charge: {cycles}")
+        self.total += cycles
+        self.by_category[category] += cycles
+
+    def read(self) -> int:
+        """Current total, like RDTSC."""
+        return self.total
+
+    @contextmanager
+    def measure(self) -> Iterator["CycleSpan"]:
+        """Context manager measuring the cycles spent inside the block."""
+        span = CycleSpan(self)
+        span.start()
+        try:
+            yield span
+        finally:
+            span.stop()
+
+    def breakdown(self) -> dict[str, int]:
+        """A copy of the per-category totals."""
+        return dict(self.by_category)
+
+
+class CycleSpan:
+    """A start/stop measurement window over a :class:`CycleCounter`."""
+
+    def __init__(self, counter: CycleCounter) -> None:
+        self._counter = counter
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+        self._start_categories: dict[str, int] = {}
+        self.categories: dict[str, float] = {}
+
+    def start(self) -> None:
+        self._start = self._counter.total
+        self._start_categories = dict(self._counter.by_category)
+
+    def stop(self) -> None:
+        if self._start is None:
+            raise RuntimeError("CycleSpan.stop() before start()")
+        self.elapsed = self._counter.total - self._start
+        self.categories = {
+            cat: self._counter.by_category[cat] - self._start_categories.get(cat, 0)
+            for cat in self._counter.by_category
+            if self._counter.by_category[cat] != self._start_categories.get(cat, 0)
+        }
+        self._start = None

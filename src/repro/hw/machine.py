@@ -1,0 +1,86 @@
+"""Machine assembly: one object owning all simulated hardware.
+
+A :class:`Machine` corresponds to one physical server.  The default
+configuration mirrors the paper's AMD test box scaled down: lazily
+allocated physical memory (so multi-GB address spaces are cheap), a 2 GB
+region reserved for RustMonitor + enclave memory, an 8 MB LLC, AMD-SME
+memory encryption, and a TPM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw import costs
+from repro.hw.cache import Llc
+from repro.hw.cpu import Cpu
+from repro.hw.cycles import CycleCounter
+from repro.hw.interrupts import Idt, InterruptModel
+from repro.hw.iommu import Iommu
+from repro.hw.memenc import AmdSme, EncryptionEngine, IntelMee, NoEncryption
+from repro.hw.phys import PAGE_SIZE, PhysicalMemory
+from repro.hw.tlb import Tlb
+from repro.hw.tpm import Tpm
+from repro.hw.trace import TraceBuffer
+
+_ENGINES = {
+    "none": NoEncryption,
+    "amd-sme": AmdSme,
+    "intel-mee": IntelMee,
+}
+
+
+@dataclass
+class MachineConfig:
+    """Hardware configuration knobs."""
+
+    phys_size: int = 8 * 1024 * 1024 * 1024      # 8 GiB, lazily allocated
+    reserved_base: int = 1 * 1024 * 1024 * 1024  # RustMonitor+EPC region base
+    reserved_size: int = 2 * 1024 * 1024 * 1024  # grub cmdline reservation
+    llc_size: int = costs.LLC_SIZE
+    tlb_entries: int = costs.TLB_ENTRIES
+    # Logical CPUs.  The paper's box has 128; the cost model only uses
+    # this for TLB-shootdown IPIs, so the default of 1 keeps the
+    # single-threaded microbenchmark calibration untouched.
+    num_cpus: int = 1
+    encryption: str = "amd-sme"                  # none | amd-sme | intel-mee
+    tpm_seed: bytes = b"hyperenclave-reproduction"
+    interrupt_interval_cycles: float = 400_000.0
+
+    def __post_init__(self) -> None:
+        if self.encryption not in _ENGINES:
+            raise ValueError(f"unknown encryption engine {self.encryption!r}")
+        if self.reserved_base % PAGE_SIZE or self.reserved_size % PAGE_SIZE:
+            raise ValueError("reserved region must be page aligned")
+        if self.reserved_base + self.reserved_size > self.phys_size:
+            raise ValueError("reserved region exceeds physical memory")
+        if self.num_cpus < 1:
+            raise ValueError("need at least one CPU")
+
+
+class Machine:
+    """One simulated server: CPU, memory, caches, TPM, IOMMU."""
+
+    def __init__(self, config: MachineConfig | None = None) -> None:
+        self.config = config or MachineConfig()
+        self.cycles = CycleCounter()
+        self.phys = PhysicalMemory(self.config.phys_size)
+        self.tlb = Tlb(self.config.tlb_entries)
+        self.cpu = Cpu(self.cycles, self.tlb)
+        self.llc = Llc(self.config.llc_size)
+        self.encryption: EncryptionEngine = _ENGINES[self.config.encryption]()
+        self.tpm = Tpm(self.config.tpm_seed)
+        self.iommu = Iommu(self.phys)
+        self.idt = Idt()
+        self.interrupts = InterruptModel(self.config.interrupt_interval_cycles)
+        self.trace = TraceBuffer()
+        self.trace.attach(self.cycles)
+
+    def reboot(self) -> None:
+        """Power cycle: PCRs reset, caches/TLB cold, cycle counter keeps going."""
+        self.tpm.reboot()
+        self.tlb.flush()
+        self.llc.flush_all()
+        self.encryption.reset()
+        self.idt.clear()
+        self.interrupts.reset()

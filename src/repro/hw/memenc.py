@@ -1,0 +1,124 @@
+"""Memory-encryption engine models (Sec 3.2 "Memory encryption", Fig 11).
+
+HyperEnclave uses AMD SME (AES-XTS, no integrity metadata); SGX1 uses the
+Memory Encryption Engine (AES-CTR plus a Merkle/counter tree for integrity
+and freshness).  Both act at cache-line granularity on LLC misses:
+
+* :class:`AmdSme` charges a flat pipelined-XTS latency per missed line.
+* :class:`IntelMee` additionally walks a counter tree; counter-tree lines
+  have their own small metadata cache, so sequential traffic amortizes the
+  tree while random traffic over a large footprint pays metadata misses.
+  This locality difference is what separates the SGX and HyperEnclave
+  curves in Figure 11 and the memory-intensive workloads in Figure 8.
+
+All constants live in :mod:`repro.hw.costs`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.hw import costs
+
+
+class EncryptionEngine:
+    """Base engine: no encryption, no extra cost."""
+
+    name = "none"
+
+    def miss_cycles(self, line_id: int, *, write: bool = False,
+                    streaming: bool = False) -> float:
+        """Extra cycles charged for one missed cache line.
+
+        ``streaming`` marks prefetcher-friendly sequential misses, whose
+        decrypt latency the pipeline hides almost completely.
+        """
+        return 0.0
+
+    def writeback_cycles(self) -> float:
+        """Extra cycles charged when a dirty line is evicted to DRAM."""
+        return 0.0
+
+    def reset(self) -> None:
+        """Drop any internal metadata state (e.g. on reboot)."""
+
+
+class NoEncryption(EncryptionEngine):
+    """Plaintext DRAM (the no-protection baselines)."""
+
+
+class AmdSme(EncryptionEngine):
+    """AMD Secure Memory Encryption: AES-XTS, no integrity metadata."""
+
+    name = "amd-sme"
+
+    def __init__(self, per_miss: float = costs.SME_MISS_EXTRA_CYCLES,
+                 per_writeback: float = costs.SME_WRITEBACK_EXTRA_CYCLES,
+                 per_stream_miss: float = costs.SME_STREAM_MISS_EXTRA_CYCLES
+                 ) -> None:
+        self.per_miss = per_miss
+        self.per_writeback = per_writeback
+        self.per_stream_miss = per_stream_miss
+
+    def miss_cycles(self, line_id: int, *, write: bool = False,
+                    streaming: bool = False) -> float:
+        return self.per_stream_miss if streaming else self.per_miss
+
+    def writeback_cycles(self) -> float:
+        return self.per_writeback
+
+
+class IntelMee(EncryptionEngine):
+    """Intel SGX Memory Encryption Engine: AES-CTR + counter tree.
+
+    Each missed data line requires the counter-tree nodes covering it.  A
+    level-``l`` metadata line covers ``64**l`` data lines; metadata lines
+    live in a small cache, so workloads with locality (or sequential
+    sweeps) rarely miss them while uniform-random traffic over a large
+    footprint misses a node or two per access.
+    """
+
+    name = "intel-mee"
+
+    def __init__(self,
+                 per_miss: float = costs.MEE_MISS_EXTRA_CYCLES,
+                 levels: int = costs.MEE_TREE_LEVELS,
+                 arity_shift: int = costs.MEE_TREE_ARITY_SHIFT,
+                 cache_lines: int = costs.MEE_METADATA_CACHE_LINES,
+                 per_writeback: float = costs.MEE_WRITEBACK_EXTRA_CYCLES
+                 ) -> None:
+        self.per_miss = per_miss
+        self.per_writeback = per_writeback
+        self.per_stream_miss = costs.MEE_STREAM_MISS_EXTRA_CYCLES
+        self.levels = levels
+        self.arity_shift = arity_shift
+        self.cache_lines = cache_lines
+        self._metadata: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self.metadata_hits = 0
+        self.metadata_misses = 0
+
+    def miss_cycles(self, line_id: int, *, write: bool = False,
+                    streaming: bool = False) -> float:
+        extra = self.per_stream_miss if streaming else self.per_miss
+        node = line_id
+        for level in range(1, self.levels + 1):
+            node >>= self.arity_shift
+            key = (level, node)
+            extra += costs.MEE_METADATA_PROBE_CYCLES
+            if key in self._metadata:
+                self._metadata.move_to_end(key)
+                self.metadata_hits += 1
+                # Upper levels are covered once a lower node hits.
+                break
+            self.metadata_misses += 1
+            extra += costs.MEE_METADATA_MISS_CYCLES
+            self._metadata[key] = None
+            if len(self._metadata) > self.cache_lines:
+                self._metadata.popitem(last=False)
+        return extra
+
+    def writeback_cycles(self) -> float:
+        return self.per_writeback
+
+    def reset(self) -> None:
+        self._metadata.clear()

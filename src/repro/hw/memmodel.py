@@ -1,0 +1,190 @@
+"""The workload-facing memory subsystem.
+
+Workloads (the B-tree database, the web server, the NBench kernels...)
+don't move every byte through the byte-accurate physical memory — that
+fidelity is reserved for the paths where *security semantics* matter
+(marshalling buffer, measurement, page tables).  For performance
+accounting they call :meth:`MemorySubsystem.touch`, which drives the full
+TLB -> LLC -> encryption-engine -> (optional EPC paging) pipeline and
+charges cycles, per 64-byte line, exactly once per line touched.
+
+An SGX backend attaches an :class:`EpcModel`: a page-granular LRU of EPC
+residency.  A touch to a non-resident page costs an EPC page fault (EWB +
+ELDU + driver); sustained thrashing switches to the driver's cheaper
+batched-eviction path — this produces the Figure 8b cliff and the
+beyond-EPC regime of Figure 11.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+from repro.hw import costs
+from repro.hw.cache import Llc
+from repro.hw.cycles import CycleCounter
+from repro.hw.memenc import EncryptionEngine, NoEncryption
+from repro.hw.phys import PAGE_SIZE
+from repro.hw.tlb import Tlb
+
+
+class EpcModel:
+    """Page-granular EPC residency with LRU eviction and fault costs."""
+
+    def __init__(self, size_bytes: int = costs.SGX_EPC_SIZE) -> None:
+        self.capacity_pages = max(size_bytes // PAGE_SIZE, 1)
+        self._resident: OrderedDict[int, None] = OrderedDict()
+        self.faults = 0
+        self._recent: deque[bool] = deque(maxlen=64)  # fault history
+
+    def access(self, page_id: int) -> float:
+        """Touch a page; returns the fault cost in cycles (0 if resident)."""
+        if page_id in self._resident:
+            self._resident.move_to_end(page_id)
+            self._recent.append(False)
+            return 0.0
+        self._resident[page_id] = None
+        if len(self._resident) <= self.capacity_pages:
+            # Room left in the EPC: first touch is just EAUG + zeroing.
+            return float(costs.SGX_EPC_POPULATE_CYCLES)
+        self._resident.popitem(last=False)
+        self.faults += 1
+        self._recent.append(True)
+        if len(self._recent) >= 32 and self.fault_rate() > 0.5:
+            # Sustained thrashing: the driver batches evictions, so the
+            # marginal fault is cheaper than a cold one.
+            return float(costs.SGX_EPC_FAULT_BATCHED_CYCLES)
+        return float(costs.SGX_EPC_FAULT_CYCLES)
+
+    def fault_rate(self) -> float:
+        if not self._recent:
+            return 0.0
+        return sum(self._recent) / len(self._recent)
+
+    def reset(self) -> None:
+        self._resident.clear()
+        self._recent.clear()
+        self.faults = 0
+
+
+class MemorySubsystem:
+    """TLB + LLC + encryption engine (+ optional EPC) cost pipeline."""
+
+    def __init__(self, cycles: CycleCounter,
+                 engine: EncryptionEngine | None = None,
+                 *,
+                 llc: Llc | None = None,
+                 tlb: Tlb | None = None,
+                 epc: EpcModel | None = None,
+                 nested_paging: bool = False,
+                 category: str = "memory") -> None:
+        self.cycles = cycles
+        self.engine = engine if engine is not None else NoEncryption()
+        # NOTE: Llc/Tlb define __len__, so an empty cache is falsy —
+        # ``llc or Llc()`` would silently discard a caller-supplied one.
+        self.llc = llc if llc is not None else Llc()
+        self.tlb = tlb if tlb is not None else Tlb(costs.TLB_ENTRIES)
+        self.epc = epc
+        self.nested_paging = nested_paging
+        self.category = category
+        self.asid = 1
+
+    # -- the hot path ---------------------------------------------------------
+
+    def touch(self, addr: int, size: int = 8, *, write: bool = False) -> float:
+        """Access ``size`` bytes at abstract address ``addr``; charge cycles.
+
+        Returns the cycles charged (useful to tests).
+        """
+        if size <= 0:
+            return 0.0
+        charged = 0.0
+        first_line = addr // costs.CACHE_LINE
+        last_line = (addr + size - 1) // costs.CACHE_LINE
+        first_page = addr // PAGE_SIZE
+        last_page = (addr + size - 1) // PAGE_SIZE
+
+        for page in range(first_page, last_page + 1):
+            if self.tlb.lookup(self.asid, page * PAGE_SIZE) is None:
+                walk = (costs.PAGE_WALK_NESTED_CYCLES if self.nested_paging
+                        else costs.PAGE_WALK_GUEST_CYCLES)
+                charged += walk
+                self.tlb.insert(self.asid, page * PAGE_SIZE, page * PAGE_SIZE,
+                                flags=0)
+            if self.epc is not None:
+                charged += self.epc.access(page)
+
+        for line in range(first_line, last_line + 1):
+            hit, evicted_dirty = self.llc.access_ex(line, write=write)
+            if hit:
+                charged += costs.LLC_HIT_CYCLES
+            else:
+                charged += costs.DRAM_CYCLES
+                charged += self.engine.miss_cycles(line, write=write)
+            if evicted_dirty:
+                charged += self.engine.writeback_cycles()
+
+        self.cycles.charge(charged, self.category)
+        return charged
+
+    def touch_sequential(self, addr: int, size: int, *,
+                         write: bool = False) -> float:
+        """A prefetch-friendly streaming sweep over ``size`` bytes.
+
+        Sequential DRAM traffic is latency-hidden by the prefetchers, so a
+        missed line costs :data:`~repro.hw.costs.SEQ_STREAM_CYCLES` per
+        8-byte word instead of the full DRAM latency, while encryption
+        engines still see (and charge for) each missed line.
+        """
+        if size <= 0:
+            return 0.0
+        charged = 0.0
+        first_line = addr // costs.CACHE_LINE
+        last_line = (addr + size - 1) // costs.CACHE_LINE
+        words_per_line = costs.CACHE_LINE // 8
+
+        for page in range(addr // PAGE_SIZE, (addr + size - 1) // PAGE_SIZE + 1):
+            if self.tlb.lookup(self.asid, page * PAGE_SIZE) is None:
+                walk = (costs.PAGE_WALK_NESTED_CYCLES if self.nested_paging
+                        else costs.PAGE_WALK_GUEST_CYCLES)
+                charged += walk
+                self.tlb.insert(self.asid, page * PAGE_SIZE, page * PAGE_SIZE,
+                                flags=0)
+            if self.epc is not None:
+                charged += self.epc.access(page)
+
+        for line in range(first_line, last_line + 1):
+            hit, evicted_dirty = self.llc.access_ex(line, write=write)
+            if hit:
+                charged += costs.LLC_HIT_CYCLES
+            else:
+                charged += costs.SEQ_STREAM_CYCLES * words_per_line
+                charged += self.engine.miss_cycles(line, write=write,
+                                                   streaming=True)
+            if evicted_dirty:
+                charged += self.engine.writeback_cycles()
+
+        self.cycles.charge(charged, self.category)
+        return charged
+
+    def compute(self, ops: float) -> None:
+        """Charge pure-compute cycles (one abstract op = ``OP_CYCLES``)."""
+        self.cycles.charge(ops * costs.OP_CYCLES, "compute")
+
+    def memcpy(self, size: int) -> float:
+        """Charge a streaming copy of ``size`` bytes."""
+        lines = max(1, (size + costs.CACHE_LINE - 1) // costs.CACHE_LINE)
+        charged = costs.MEMCPY_FIXED_CYCLES + lines * costs.MEMCPY_CYCLES_PER_LINE
+        self.cycles.charge(charged, "memcpy")
+        return charged
+
+    def clflush(self, addr: int, size: int) -> None:
+        """Flush a byte range out of the LLC (the CLFLUSH loop in Fig 7)."""
+        self.llc.flush_range(addr, size)
+
+    def reset_state(self) -> None:
+        """Cold caches/TLB (used between benchmark configurations)."""
+        self.llc.flush_all()
+        self.tlb.flush()
+        self.engine.reset()
+        if self.epc is not None:
+            self.epc.reset()

@@ -1,0 +1,267 @@
+"""x86-64-style 4-level page tables, stored in simulated physical memory.
+
+Page-table pages are real frames; entries are real 8-byte little-endian
+PTEs with present / writable / user / accessed / dirty / NX bits and a
+frame number.  The walker reports how many memory references it made so
+the MMU can charge cycles, and the :class:`NestedTranslator` performs the
+full two-dimensional walk (every guest-page-table access is itself
+translated through the NPT), which is where the GU-Enclave / HU-Enclave
+cost difference physically comes from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import NestedPageFault, PageFault
+from repro.hw.phys import PAGE_SIZE, PhysicalMemory
+
+ENTRY_SIZE = 8
+ENTRIES_PER_TABLE = PAGE_SIZE // ENTRY_SIZE
+LEVELS = 4
+VA_BITS = 48
+_ADDR_MASK = 0x000F_FFFF_FFFF_F000
+
+
+class PageTableFlags(enum.IntFlag):
+    """PTE flag bits (subset of x86-64)."""
+
+    PRESENT = 1 << 0
+    WRITABLE = 1 << 1
+    USER = 1 << 2
+    ACCESSED = 1 << 5
+    DIRTY = 1 << 6
+    NX = 1 << 63
+
+    # Convenience combinations.
+    RW = PRESENT | WRITABLE
+    URW = PRESENT | WRITABLE | USER
+    URX = PRESENT | USER
+    UR = PRESENT | USER | NX
+
+
+@dataclass(frozen=True)
+class Translation:
+    """Result of a successful walk."""
+
+    pa: int
+    flags: PageTableFlags
+    refs: int               # page-table memory references made
+
+
+def _index(va: int, level: int) -> int:
+    """Index into the ``level``-th table (level 3 = root) for ``va``."""
+    return (va >> (12 + 9 * level)) & (ENTRIES_PER_TABLE - 1)
+
+
+def page_of(va: int) -> int:
+    """The page-aligned base of ``va``."""
+    return va & ~(PAGE_SIZE - 1)
+
+
+class PageTable:
+    """One 4-level page table rooted at a physical frame.
+
+    ``frame_alloc``/``frame_free`` supply intermediate table pages — the
+    monitor passes its reserved pool, the primary OS its normal pool, so
+    table memory is owned by whoever manages the mapping.
+    """
+
+    def __init__(self, phys: PhysicalMemory, frame_alloc: Callable[[], int],
+                 frame_free: Callable[[int], None] | None = None) -> None:
+        self.phys = phys
+        self._alloc = frame_alloc
+        self._free = frame_free
+        self.root_pa = frame_alloc()
+        self._table_frames: set[int] = {self.root_pa}
+
+    # -- mapping management --------------------------------------------------
+
+    def map(self, va: int, pa: int, flags: PageTableFlags) -> None:
+        """Install a 4 KB mapping ``va -> pa`` with ``flags``."""
+        self._check_canonical(va)
+        if va % PAGE_SIZE or pa % PAGE_SIZE:
+            raise ValueError("map() requires page-aligned va and pa")
+        entry_pa = self._ensure_entry(va)
+        self.phys.write_u64(entry_pa,
+                            pa | int(flags | PageTableFlags.PRESENT))
+
+    def unmap(self, va: int) -> int:
+        """Remove the mapping for ``va``; returns the old PA."""
+        entry_pa = self._find_entry(va)
+        if entry_pa is None:
+            raise PageFault(va, present=False)
+        entry = self.phys.read_u64(entry_pa)
+        if not entry & PageTableFlags.PRESENT:
+            raise PageFault(va, present=False)
+        self.phys.write_u64(entry_pa, 0)
+        return entry & _ADDR_MASK
+
+    def protect(self, va: int, flags: PageTableFlags) -> None:
+        """Replace the permission flags of an existing mapping."""
+        entry_pa = self._find_entry(va)
+        if entry_pa is None:
+            raise PageFault(va, present=False)
+        entry = self.phys.read_u64(entry_pa)
+        if not entry & PageTableFlags.PRESENT:
+            raise PageFault(va, present=False)
+        pa = entry & _ADDR_MASK
+        self.phys.write_u64(entry_pa, pa | int(flags | PageTableFlags.PRESENT))
+
+    def is_mapped(self, va: int) -> bool:
+        try:
+            self.translate(va)
+            return True
+        except PageFault:
+            return False
+
+    def mappings(self) -> Iterator[tuple[int, int, PageTableFlags]]:
+        """Iterate all (va, pa, flags) leaf mappings (for tests/debug)."""
+        yield from self._walk_tables(self.root_pa, LEVELS - 1, 0)
+
+    def _walk_tables(self, table_pa: int, level: int,
+                     va_prefix: int) -> Iterator[tuple[int, int, PageTableFlags]]:
+        for i in range(ENTRIES_PER_TABLE):
+            entry = self.phys.read_u64(table_pa + i * ENTRY_SIZE)
+            if not entry & PageTableFlags.PRESENT:
+                continue
+            va = va_prefix | (i << (12 + 9 * level))
+            if level == 0:
+                yield va, entry & _ADDR_MASK, PageTableFlags(
+                    entry & ~_ADDR_MASK)
+            else:
+                yield from self._walk_tables(entry & _ADDR_MASK, level - 1, va)
+
+    # -- translation ----------------------------------------------------------
+
+    def translate(self, va: int, *, write: bool = False, user: bool = True,
+                  fetch: bool = False, set_accessed: bool = True) -> Translation:
+        """Walk the table; raise :class:`PageFault` on failure."""
+        self._check_canonical(va)
+        table_pa = self.root_pa
+        refs = 0
+        for level in range(LEVELS - 1, -1, -1):
+            entry_pa = table_pa + _index(va, level) * ENTRY_SIZE
+            entry = self.phys.read_u64(entry_pa)
+            refs += 1
+            if not entry & PageTableFlags.PRESENT:
+                raise PageFault(va, write=write, user=user, fetch=fetch,
+                                present=False)
+            if level == 0:
+                flags = PageTableFlags(entry & ~_ADDR_MASK)
+                self._check_permissions(va, flags, write, user, fetch)
+                if set_accessed:
+                    new = entry | PageTableFlags.ACCESSED
+                    if write:
+                        new |= PageTableFlags.DIRTY
+                    if new != entry:
+                        self.phys.write_u64(entry_pa, new)
+                return Translation(pa=(entry & _ADDR_MASK) | (va & (PAGE_SIZE - 1)),
+                                   flags=flags, refs=refs)
+            table_pa = entry & _ADDR_MASK
+        raise AssertionError("unreachable")
+
+    @staticmethod
+    def _check_permissions(va: int, flags: PageTableFlags, write: bool,
+                           user: bool, fetch: bool) -> None:
+        if write and not flags & PageTableFlags.WRITABLE:
+            raise PageFault(va, write=True, user=user, present=True)
+        if user and not flags & PageTableFlags.USER:
+            raise PageFault(va, write=write, user=True, present=True)
+        if fetch and flags & PageTableFlags.NX:
+            raise PageFault(va, fetch=True, user=user, present=True)
+
+    # -- internals -------------------------------------------------------------
+
+    def _ensure_entry(self, va: int) -> int:
+        """Walk down, allocating intermediate tables; return the leaf PTE PA."""
+        table_pa = self.root_pa
+        for level in range(LEVELS - 1, 0, -1):
+            entry_pa = table_pa + _index(va, level) * ENTRY_SIZE
+            entry = self.phys.read_u64(entry_pa)
+            if not entry & PageTableFlags.PRESENT:
+                new_table = self._alloc()
+                self._table_frames.add(new_table)
+                # Intermediate entries: present+writable+user; leaf flags rule.
+                self.phys.write_u64(entry_pa, new_table | int(
+                    PageTableFlags.PRESENT | PageTableFlags.WRITABLE |
+                    PageTableFlags.USER))
+                table_pa = new_table
+            else:
+                table_pa = entry & _ADDR_MASK
+        return table_pa + _index(va, 0) * ENTRY_SIZE
+
+    def _find_entry(self, va: int) -> int | None:
+        """Return the leaf PTE PA for ``va`` or None if tables are missing."""
+        self._check_canonical(va)
+        table_pa = self.root_pa
+        for level in range(LEVELS - 1, 0, -1):
+            entry_pa = table_pa + _index(va, level) * ENTRY_SIZE
+            entry = self.phys.read_u64(entry_pa)
+            if not entry & PageTableFlags.PRESENT:
+                return None
+            table_pa = entry & _ADDR_MASK
+        return table_pa + _index(va, 0) * ENTRY_SIZE
+
+    def destroy(self) -> None:
+        """Free all table frames back to the allocator."""
+        if self._free is None:
+            return
+        for frame in sorted(self._table_frames, reverse=True):
+            self._free(frame)
+        self._table_frames.clear()
+
+    @staticmethod
+    def _check_canonical(va: int) -> None:
+        if not 0 <= va < (1 << VA_BITS):
+            raise PageFault(va, present=False)
+
+
+class NestedTranslator:
+    """Two-dimensional (guest PT + nested PT) address translation.
+
+    Mirrors hardware nested paging: each guest-page-table access during the
+    GPT walk is itself a guest-physical address that must be translated
+    through the NPT, so a full 4+4-level walk makes up to 24 references.
+    """
+
+    def __init__(self, gpt: PageTable, npt: PageTable) -> None:
+        self.gpt = gpt
+        self.npt = npt
+
+    def translate(self, gva: int, *, write: bool = False, user: bool = True,
+                  fetch: bool = False) -> Translation:
+        refs = 0
+        table_gpa = self.gpt.root_pa
+        for level in range(LEVELS - 1, -1, -1):
+            # The GPT table page itself lives at a guest-physical address:
+            # translate it through the NPT first.
+            table_hpa, npt_refs = self._npt_translate(table_gpa, write=False)
+            refs += npt_refs
+            entry_pa = table_hpa + _index(gva, level) * ENTRY_SIZE
+            entry = self.gpt.phys.read_u64(entry_pa)
+            refs += 1
+            if not entry & PageTableFlags.PRESENT:
+                raise PageFault(gva, write=write, user=user, fetch=fetch,
+                                present=False)
+            if level == 0:
+                flags = PageTableFlags(entry & ~_ADDR_MASK)
+                PageTable._check_permissions(gva, flags, write, user, fetch)
+                leaf_gpa = (entry & _ADDR_MASK) | (gva & (PAGE_SIZE - 1))
+                leaf_hpa, npt_refs = self._npt_translate(leaf_gpa,
+                                                         write=write)
+                refs += npt_refs
+                return Translation(pa=leaf_hpa, flags=flags, refs=refs)
+            table_gpa = entry & _ADDR_MASK
+
+        raise AssertionError("unreachable")
+
+    def _npt_translate(self, gpa: int, *, write: bool) -> tuple[int, int]:
+        try:
+            result = self.npt.translate(gpa, write=write, user=True)
+        except PageFault as fault:
+            raise NestedPageFault(gpa, write=write,
+                                  present=fault.present) from fault
+        return result.pa, result.refs

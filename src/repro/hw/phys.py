@@ -1,0 +1,187 @@
+"""Simulated physical memory with frame ownership.
+
+Physical memory is an array of 4 KB frames, lazily materialized as
+``bytearray`` pages.  Every frame carries an *owner tag* — free, normal
+(primary-OS-managed), monitor (RustMonitor's reserved region) or enclave
+(with an enclave id).  Ownership is what the paper's security requirements
+R-1..R-3 are about; the MMU, the monitor, and the IOMMU consult it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import PhysicalMemoryError
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+class OwnerKind(enum.Enum):
+    """Who owns a physical frame."""
+
+    FREE = "free"
+    NORMAL = "normal"          # primary-OS managed memory
+    MONITOR = "monitor"        # RustMonitor's private reserved memory
+    ENCLAVE = "enclave"        # enclave memory (tagged with an enclave id)
+    DEVICE = "device"          # MMIO / device-visible buffers
+
+
+@dataclass(frozen=True)
+class Owner:
+    """A frame owner tag; ``enclave_id`` is set only for ENCLAVE frames."""
+
+    kind: OwnerKind
+    enclave_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.kind is OwnerKind.ENCLAVE) != (self.enclave_id is not None):
+            raise ValueError("enclave_id must be set iff kind is ENCLAVE")
+
+
+FREE = Owner(OwnerKind.FREE)
+NORMAL = Owner(OwnerKind.NORMAL)
+MONITOR = Owner(OwnerKind.MONITOR)
+
+
+def enclave_owner(enclave_id: int) -> Owner:
+    """Owner tag for a frame belonging to enclave ``enclave_id``."""
+    return Owner(OwnerKind.ENCLAVE, enclave_id)
+
+
+class PhysicalMemory:
+    """Byte-addressable physical memory made of owned 4 KB frames."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0 or size % PAGE_SIZE:
+            raise ValueError("physical memory size must be a positive "
+                             "multiple of the page size")
+        self.size = size
+        self.num_frames = size // PAGE_SIZE
+        self._frames: dict[int, bytearray] = {}
+        self._owners: dict[int, Owner] = {}
+
+    # -- ownership ---------------------------------------------------------
+
+    def owner_of(self, pa: int) -> Owner:
+        """Owner tag of the frame containing physical address ``pa``."""
+        return self._owners.get(self._frame_no(pa), FREE)
+
+    def set_owner(self, pa: int, owner: Owner, npages: int = 1) -> None:
+        """Tag ``npages`` frames starting at ``pa`` with ``owner``."""
+        frame = self._frame_no(pa)
+        if pa % PAGE_SIZE:
+            raise PhysicalMemoryError(f"unaligned frame base {pa:#x}")
+        if frame + npages > self.num_frames:
+            raise PhysicalMemoryError("frame range beyond physical memory")
+        for i in range(npages):
+            if owner.kind is OwnerKind.FREE:
+                self._owners.pop(frame + i, None)
+            else:
+                self._owners[frame + i] = owner
+
+    # -- data --------------------------------------------------------------
+
+    def read(self, pa: int, length: int) -> bytes:
+        """Read ``length`` bytes at physical address ``pa``."""
+        self._check_range(pa, length)
+        out = bytearray()
+        while length:
+            frame, offset = divmod(pa, PAGE_SIZE)
+            chunk = min(length, PAGE_SIZE - offset)
+            page = self._frames.get(frame)
+            if page is None:
+                out += b"\x00" * chunk
+            else:
+                out += page[offset:offset + chunk]
+            pa += chunk
+            length -= chunk
+        return bytes(out)
+
+    def write(self, pa: int, data: bytes) -> None:
+        """Write ``data`` at physical address ``pa``."""
+        self._check_range(pa, len(data))
+        view = memoryview(data)
+        while view:
+            frame, offset = divmod(pa, PAGE_SIZE)
+            chunk = min(len(view), PAGE_SIZE - offset)
+            page = self._frames.get(frame)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._frames[frame] = page
+            page[offset:offset + chunk] = view[:chunk]
+            pa += chunk
+            view = view[chunk:]
+
+    def read_u64(self, pa: int) -> int:
+        return int.from_bytes(self.read(pa, 8), "little")
+
+    def write_u64(self, pa: int, value: int) -> None:
+        self.write(pa, (value & (2 ** 64 - 1)).to_bytes(8, "little"))
+
+    def zero_frame(self, pa: int) -> None:
+        """Scrub a frame (used when recycling enclave pages)."""
+        if pa % PAGE_SIZE:
+            raise PhysicalMemoryError(f"unaligned frame base {pa:#x}")
+        self._check_range(pa, PAGE_SIZE)
+        self._frames.pop(pa // PAGE_SIZE, None)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _frame_no(self, pa: int) -> int:
+        if not 0 <= pa < self.size:
+            raise PhysicalMemoryError(f"physical address {pa:#x} out of range")
+        return pa >> PAGE_SHIFT
+
+    def _check_range(self, pa: int, length: int) -> None:
+        if length < 0:
+            raise PhysicalMemoryError("negative length")
+        if not 0 <= pa <= self.size - length:
+            raise PhysicalMemoryError(
+                f"physical range [{pa:#x}, {pa + length:#x}) out of bounds")
+
+
+class FramePool:
+    """An allocator over a contiguous physical region.
+
+    RustMonitor's reserved memory and the primary OS's normal memory each
+    manage their own pool ("RustMonitor manages the reserved physical
+    memory by maintaining a list of free pages", Sec 5.1).
+    """
+
+    def __init__(self, phys: PhysicalMemory, base: int, size: int,
+                 owner: Owner) -> None:
+        if base % PAGE_SIZE or size % PAGE_SIZE:
+            raise ValueError("pool base/size must be page aligned")
+        self.phys = phys
+        self.base = base
+        self.size = size
+        self.default_owner = owner
+        self._free: list[int] = list(range(base + size - PAGE_SIZE,
+                                           base - 1, -PAGE_SIZE))
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    def alloc(self, owner: Owner | None = None) -> int:
+        """Pop a free frame, tag it, scrub it, and return its base PA."""
+        if not self._free:
+            raise PhysicalMemoryError("frame pool exhausted")
+        pa = self._free.pop()
+        self.phys.set_owner(pa, owner or self.default_owner)
+        self.phys.zero_frame(pa)
+        return pa
+
+    def free(self, pa: int) -> None:
+        """Scrub a frame and return it to the pool."""
+        if not self.base <= pa < self.base + self.size:
+            raise PhysicalMemoryError(
+                f"frame {pa:#x} does not belong to this pool")
+        self.phys.zero_frame(pa)
+        self.phys.set_owner(pa, FREE)
+        self._free.append(pa)
+
+    def contains(self, pa: int) -> bool:
+        return self.base <= pa < self.base + self.size

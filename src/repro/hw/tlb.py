@@ -1,0 +1,71 @@
+"""Translation lookaside buffer with ASIDs.
+
+World switches either flush the whole TLB (GU/P-Enclave: new GPT+NPT) or
+just switch the active ASID (HU-Enclave), which is one of the mechanisms
+behind the mode cost differences in Table 1.  The security analysis also
+relies on flushes: "TLBs are cleared upon world switches to prevent
+illegal memory accesses using stale TLB entries" (Sec 6).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.hw.phys import PAGE_SIZE
+from repro.hw.paging import PageTableFlags
+
+
+class Tlb:
+    """A finite, LRU-evicting TLB keyed by (asid, virtual page number)."""
+
+    def __init__(self, capacity: int = 1536) -> None:
+        if capacity <= 0:
+            raise ValueError("TLB capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[int, int], tuple[int, PageTableFlags]] \
+            = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    @staticmethod
+    def _vpn(va: int) -> int:
+        return va // PAGE_SIZE
+
+    def lookup(self, asid: int, va: int) -> tuple[int, PageTableFlags] | None:
+        """Return (page frame PA, flags) on hit, else None."""
+        key = (asid, self._vpn(va))
+        hit = self._entries.get(key)
+        if hit is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return hit
+
+    def insert(self, asid: int, va: int, pa_page: int,
+               flags: PageTableFlags) -> None:
+        key = (asid, self._vpn(va))
+        self._entries[key] = (pa_page, flags)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invlpg(self, asid: int, va: int) -> None:
+        """Invalidate one page's entry (the INVLPG instruction)."""
+        self._entries.pop((asid, self._vpn(va)), None)
+
+    def flush(self) -> None:
+        """Drop every entry (full flush, e.g. MOV CR3 without PCID)."""
+        self._entries.clear()
+        self.flushes += 1
+
+    def flush_asid(self, asid: int) -> None:
+        """Drop all entries for one ASID."""
+        stale = [key for key in self._entries if key[0] == asid]
+        for key in stale:
+            del self._entries[key]
+        self.flushes += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)

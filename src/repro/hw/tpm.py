@@ -1,0 +1,205 @@
+"""TPM 2.0 model: PCRs, extend, quote, seal/unseal, RNG.
+
+The measured-late-launch chain (Sec 3.3) extends each boot component into
+PCRs; the quote is signed with an AIK that is itself certified by the
+burned-in EK, so a verifier can check the whole chain.  ``seal`` binds a
+blob to the current PCR values and to *this* TPM's internal storage key —
+unsealing on another TPM, or with different PCRs, fails.  PCRs reset on
+reboot and can only ever be extended, never set, which is what makes the
+measurement chain rollback-proof.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto import (Drbg, RsaKeyPair, RsaPublicKey, aead_encrypt,
+                          aead_decrypt, generate_keypair, hkdf, sha256)
+from repro.errors import SealError, TpmError
+
+NUM_PCRS = 24
+PCR_SIZE = 32
+
+# Key generation is the slow part of building a machine; memoize per seed
+# so a deterministic test-suite pays it once.
+_KEY_CACHE: dict[tuple[bytes, str], RsaKeyPair] = {}
+
+
+def _cached_keypair(seed: bytes, label: str) -> RsaKeyPair:
+    key = (seed, label)
+    if key not in _KEY_CACHE:
+        _KEY_CACHE[key] = generate_keypair(
+            seed=sha256(b"tpm-key", label.encode(), seed))
+    return _KEY_CACHE[key]
+
+
+@dataclass(frozen=True)
+class TpmQuote:
+    """A signed report of selected PCR values.
+
+    ``signature`` is the AIK's signature over (nonce, selection, values);
+    ``aik_public``/``aik_cert`` form the certificate chain back to the EK.
+    """
+
+    nonce: bytes
+    pcr_selection: tuple[int, ...]
+    pcr_values: tuple[bytes, ...]
+    signature: bytes
+    aik_public: RsaPublicKey
+    aik_cert: bytes
+
+    def signed_payload(self) -> bytes:
+        payload = b"TPM_QUOTE" + self.nonce
+        payload += struct.pack("<I", len(self.pcr_selection))
+        for idx, value in zip(self.pcr_selection, self.pcr_values):
+            payload += struct.pack("<I", idx) + value
+        return payload
+
+    def verify(self, ek_public: RsaPublicKey) -> bool:
+        """Verify the AIK certificate chain and the quote signature."""
+        if not ek_public.verify(b"TPM_AIK_CERT" + self.aik_public.to_bytes(),
+                                self.aik_cert):
+            return False
+        return self.aik_public.verify(self.signed_payload(), self.signature)
+
+
+class Tpm:
+    """A single TPM chip with its own EK, AIK, PCR bank and storage key."""
+
+    def __init__(self, seed: bytes | None = None) -> None:
+        self._drbg = Drbg(seed)
+        self._seed = seed if seed is not None else self._drbg.read(32)
+        self.pcrs: list[bytes] = [b"\x00" * PCR_SIZE] * NUM_PCRS
+        self._storage_key = hkdf(self._seed, info=b"tpm-storage-root-key")
+        self._ek: RsaKeyPair | None = None
+        self._aik: RsaKeyPair | None = None
+        self._aik_cert: bytes | None = None
+        # NV storage: survives reboot() by design.
+        self._nv_counters: dict[int, int] = {}
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def ek(self) -> RsaKeyPair:
+        if self._ek is None:
+            self._ek = _cached_keypair(self._seed, "endorsement")
+        return self._ek
+
+    @property
+    def ek_public(self) -> RsaPublicKey:
+        return self.ek.public
+
+    @property
+    def aik(self) -> RsaKeyPair:
+        if self._aik is None:
+            self._aik = _cached_keypair(self._seed, "attestation-identity")
+        return self._aik
+
+    def aik_cert(self) -> bytes:
+        """The EK's certification of the AIK public key."""
+        if self._aik_cert is None:
+            self._aik_cert = self.ek.sign(
+                b"TPM_AIK_CERT" + self.aik.public.to_bytes())
+        return self._aik_cert
+
+    # -- PCRs ------------------------------------------------------------------
+
+    def extend(self, index: int, digest: bytes) -> bytes:
+        """PCR extend: ``pcr = SHA256(pcr || digest)``; returns the new value."""
+        self._check_pcr(index)
+        if len(digest) != PCR_SIZE:
+            raise TpmError(f"extend digest must be {PCR_SIZE} bytes")
+        self.pcrs[index] = sha256(self.pcrs[index], digest)
+        return self.pcrs[index]
+
+    def read_pcr(self, index: int) -> bytes:
+        self._check_pcr(index)
+        return self.pcrs[index]
+
+    def reboot(self) -> None:
+        """Power cycle: PCRs reset to zero (and only extends can change them)."""
+        self.pcrs = [b"\x00" * PCR_SIZE] * NUM_PCRS
+
+    @staticmethod
+    def _check_pcr(index: int) -> None:
+        if not 0 <= index < NUM_PCRS:
+            raise TpmError(f"no such PCR: {index}")
+
+    # -- quote -----------------------------------------------------------------
+
+    def quote(self, nonce: bytes, pcr_selection: tuple[int, ...]) -> TpmQuote:
+        """Sign the selected PCR values (TPM2_Quote)."""
+        for idx in pcr_selection:
+            self._check_pcr(idx)
+        values = tuple(self.pcrs[idx] for idx in pcr_selection)
+        unsigned = TpmQuote(nonce=nonce, pcr_selection=tuple(pcr_selection),
+                            pcr_values=values, signature=b"",
+                            aik_public=self.aik.public,
+                            aik_cert=self.aik_cert())
+        signature = self.aik.sign(unsigned.signed_payload())
+        return TpmQuote(nonce=nonce, pcr_selection=tuple(pcr_selection),
+                        pcr_values=values, signature=signature,
+                        aik_public=self.aik.public, aik_cert=self.aik_cert())
+
+    # -- seal/unseal -------------------------------------------------------------
+
+    def seal(self, data: bytes, pcr_selection: tuple[int, ...]) -> bytes:
+        """Encrypt ``data`` bound to this TPM and the *current* PCR values."""
+        for idx in pcr_selection:
+            self._check_pcr(idx)
+        policy = sha256(*[self.pcrs[idx] for idx in pcr_selection]) \
+            if pcr_selection else b"\x00" * PCR_SIZE
+        header = struct.pack("<I", len(pcr_selection)) + b"".join(
+            struct.pack("<I", idx) for idx in pcr_selection)
+        key = hkdf(self._storage_key, info=b"seal" + policy)
+        return header + aead_encrypt(key, self.random(16), data, aad=policy)
+
+    def unseal(self, blob: bytes) -> bytes:
+        """Decrypt a sealed blob; fails unless PCRs match the seal-time values."""
+        if len(blob) < 4:
+            raise SealError("sealed blob too short")
+        (count,) = struct.unpack_from("<I", blob)
+        offset = 4
+        if count > NUM_PCRS or len(blob) < offset + 4 * count:
+            raise SealError("corrupt sealed blob header")
+        selection = []
+        for _ in range(count):
+            (idx,) = struct.unpack_from("<I", blob, offset)
+            self._check_pcr(idx)
+            selection.append(idx)
+            offset += 4
+        policy = sha256(*[self.pcrs[idx] for idx in selection]) \
+            if selection else b"\x00" * PCR_SIZE
+        key = hkdf(self._storage_key, info=b"seal" + policy)
+        return aead_decrypt(key, blob[offset:], aad=policy)
+
+    # -- NV monotonic counters ---------------------------------------------------
+
+    def nv_counter_define(self, index: int) -> None:
+        """TPM2_NV_DefineSpace for a monotonic counter.
+
+        NV counters survive reboots and can only ever increment — the
+        anti-rollback primitive versioned sealed storage builds on.
+        """
+        if index in self._nv_counters:
+            raise TpmError(f"NV counter {index} already defined")
+        self._nv_counters[index] = 0
+
+    def nv_counter_increment(self, index: int) -> int:
+        """TPM2_NV_Increment; returns the new value."""
+        if index not in self._nv_counters:
+            raise TpmError(f"no NV counter at index {index}")
+        self._nv_counters[index] += 1
+        return self._nv_counters[index]
+
+    def nv_counter_read(self, index: int) -> int:
+        if index not in self._nv_counters:
+            raise TpmError(f"no NV counter at index {index}")
+        return self._nv_counters[index]
+
+    # -- randomness -----------------------------------------------------------
+
+    def random(self, n: int) -> bytes:
+        """TPM2_GetRandom."""
+        return self._drbg.read(n)

@@ -1,0 +1,73 @@
+"""Structured execution tracing.
+
+A bounded in-memory event buffer the platform components append to when
+tracing is enabled: world switches, hypercalls, exceptions, page faults,
+swaps.  Disabled by default (zero overhead beyond one branch); enabled it
+is the observability surface a production monitor would expose — and what
+the debugging story in the artifact appendix leans on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    cycle: float
+    kind: str          # "eenter" | "eexit" | "aex" | "hypercall" | ...
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.cycle:>14,.0f}] {self.kind:<12} {self.detail}"
+
+
+class TraceBuffer:
+    """A bounded ring of :class:`TraceEvent`."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.enabled = False
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._cycles = None
+
+    def attach(self, cycles) -> None:
+        """Bind the cycle counter that timestamps events."""
+        self._cycles = cycles
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def record(self, kind: str, detail: str = "") -> None:
+        if not self.enabled:
+            return
+        cycle = self._cycles.read() if self._cycles is not None else 0
+        self._events.append(TraceEvent(cycle=cycle, kind=kind,
+                                       detail=detail))
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def dump(self, limit: int = 50) -> str:
+        """The last ``limit`` events, newest last."""
+        tail = list(self._events)[-limit:]
+        return "\n".join(str(e) for e in tail)

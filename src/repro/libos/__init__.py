@@ -1,0 +1,19 @@
+"""LibOS layer (the ported Occlum of Sec 5.3 / 7.4).
+
+Server workloads (Lighttpd, Redis) are written against the small POSIX-ish
+:class:`~repro.libos.base.Libos` interface and run unchanged on two
+implementations:
+
+* :class:`~repro.libos.occlum.OcclumLibos` — inside the enclave: the
+  filesystem lives in enclave memory (Occlum's encrypted FS), network I/O
+  crosses the boundary as OCALLs through the marshalling buffer.
+* :class:`~repro.libos.native.NativeLibos` — the no-protection baseline:
+  plain syscalls into the primary OS.
+"""
+
+from repro.libos.base import Libos, LIBOS_EDL_UNTRUSTED
+from repro.libos.occlum import OcclumLibos, register_libos_ocalls
+from repro.libos.native import NativeLibos
+
+__all__ = ["Libos", "LIBOS_EDL_UNTRUSTED", "OcclumLibos",
+           "register_libos_ocalls", "NativeLibos"]

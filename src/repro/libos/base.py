@@ -1,0 +1,58 @@
+"""The LibOS interface the servers are written against."""
+
+from __future__ import annotations
+
+# The untrusted half of the LibOS interface: spliced into the EDL of any
+# enclave that links the LibOS (network must leave the enclave; the FS
+# doesn't).
+LIBOS_EDL_UNTRUSTED = """
+        uint64 ocall_net_listen(uint64 port);
+        uint64 ocall_net_accept(uint64 port);
+        uint64 ocall_net_recv([out, size=cap] bytes buf, uint64 cap,
+                              uint64 conn);
+        uint64 ocall_net_send([in, size=n] bytes data, uint64 n,
+                              uint64 conn);
+        uint64 ocall_net_close(uint64 conn);
+"""
+
+# Maximum message the LibOS socket layer moves per OCALL.
+RECV_CAPACITY = 64 * 1024
+
+# In-LibOS syscall dispatch (Occlum handles syscalls inside the enclave).
+LIBOS_SYSCALL_CYCLES = 260
+
+
+class Libos:
+    """POSIX-ish surface: files and server-side sockets."""
+
+    # -- filesystem -----------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def read_file(self, path: str) -> bytes:
+        raise NotImplementedError
+
+    def stat(self, path: str) -> int:
+        raise NotImplementedError
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    # -- sockets ----------------------------------------------------------------
+
+    def listen(self, port: int) -> None:
+        raise NotImplementedError
+
+    def accept(self, port: int) -> int:
+        """Returns a connection id."""
+        raise NotImplementedError
+
+    def recv(self, conn: int) -> bytes | None:
+        raise NotImplementedError
+
+    def send(self, conn: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def close(self, conn: int) -> None:
+        raise NotImplementedError

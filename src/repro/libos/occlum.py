@@ -1,0 +1,140 @@
+"""The in-enclave LibOS (our Occlum port).
+
+Files live in enclave memory: reads charge enclave-memory touches, so a
+big file set exerts the same pressure on the LLC / encryption engine /
+EPC as Occlum's in-enclave FS does.  Sockets turn into OCALLs; the
+payload rides the marshalling buffer like any other edge-call parameter.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OsError, SdkError
+from repro.libos.base import (LIBOS_SYSCALL_CYCLES, RECV_CAPACITY, Libos)
+from repro.osim.net import Loopback
+
+
+class _EnclaveFile:
+    """One in-enclave file: bytes plus a charged address range."""
+
+    def __init__(self, data: bytes, base_addr: int) -> None:
+        self.data = data
+        self.base_addr = base_addr
+
+
+class OcclumLibos(Libos):
+    """LibOS running inside the enclave, bound to an EnclaveContext."""
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        self._files: dict[str, _EnclaveFile] = {}
+
+    def _syscall(self) -> None:
+        # Occlum dispatches "syscalls" inside the enclave: no world switch.
+        self.ctx.compute(LIBOS_SYSCALL_CYCLES)
+
+    # -- filesystem ------------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes) -> None:
+        self._syscall()
+        base = self.ctx.malloc(max(len(data), 16))
+        self.ctx.touch_sequential(base, len(data) or 1, write=True)
+        self._files[path] = _EnclaveFile(bytes(data), base)
+
+    def read_file(self, path: str) -> bytes:
+        self._syscall()
+        f = self._files.get(path)
+        if f is None:
+            raise OsError(f"no such file in LibOS: {path}")
+        self.ctx.touch_sequential(f.base_addr, len(f.data) or 1)
+        return f.data
+
+    def stat(self, path: str) -> int:
+        self._syscall()
+        f = self._files.get(path)
+        if f is None:
+            raise OsError(f"no such file in LibOS: {path}")
+        return len(f.data)
+
+    def exists(self, path: str) -> bool:
+        self._syscall()
+        return path in self._files
+
+    # -- sockets (OCALLs) ----------------------------------------------------------
+
+    def listen(self, port: int) -> None:
+        self._syscall()
+        self.ctx.ocall("ocall_net_listen", port=port)
+
+    def accept(self, port: int) -> int:
+        self._syscall()
+        return int(self.ctx.ocall("ocall_net_accept", port=port))
+
+    def recv(self, conn: int) -> bytes | None:
+        self._syscall()
+        result = self.ctx.ocall("ocall_net_recv", cap=RECV_CAPACITY,
+                                conn=conn)
+        retval, outs = result if isinstance(result, tuple) else (result, {})
+        n = int(retval)
+        if n == 0:
+            return None
+        return outs["buf"][:n]
+
+    def send(self, conn: int, data: bytes) -> None:
+        self._syscall()
+        self.ctx.ocall("ocall_net_send", data=data, n=len(data), conn=conn)
+
+    def close(self, conn: int) -> None:
+        self._syscall()
+        self.ctx.ocall("ocall_net_close", conn=conn)
+
+
+def register_libos_ocalls(handle, loopback: Loopback) -> dict[int, object]:
+    """Install the untrusted halves of the LibOS socket OCALLs.
+
+    Returns the connection registry (id -> Connection) so drivers can
+    inject client traffic.
+    """
+    registry: dict[int, object] = {}
+    next_id = [1]
+
+    def ocall_net_listen(port):
+        loopback.listen(int(port))
+        return 0
+
+    def ocall_net_accept(port):
+        conn = loopback.accept(int(port))
+        conn_id = next_id[0]
+        next_id[0] += 1
+        registry[conn_id] = conn
+        return conn_id
+
+    def ocall_net_recv(buf, cap, conn):
+        connection = registry.get(int(conn))
+        if connection is None:
+            raise SdkError(f"recv on unknown connection {conn}")
+        data = loopback.recv(connection, from_client=True)
+        if data is None:
+            return 0, {"buf": b""}
+        if len(data) > cap:
+            raise SdkError("LibOS recv capacity exceeded")
+        return len(data), {"buf": data}
+
+    def ocall_net_send(data, n, conn):
+        connection = registry.get(int(conn))
+        if connection is None:
+            raise SdkError(f"send on unknown connection {conn}")
+        loopback.send(connection, bytes(data[:n]), from_client=False)
+        return n
+
+    def ocall_net_close(conn):
+        connection = registry.pop(int(conn), None)
+        if connection is not None:
+            connection.close()
+        return 0
+
+    handle.register_ocall("ocall_net_listen", ocall_net_listen)
+    handle.register_ocall("ocall_net_accept", ocall_net_accept)
+    handle.register_ocall("ocall_net_recv", ocall_net_recv)
+    handle.register_ocall("ocall_net_send", ocall_net_send)
+    handle.register_ocall("ocall_net_close", ocall_net_close)
+    return registry

@@ -1,0 +1,41 @@
+"""RustMonitor: the trusted security monitor (the paper's core contribution).
+
+The monitor runs in monitor mode (VMX root, ring 0) and:
+
+* manages the reserved physical memory (its own pool + the enclave page
+  cache) — Sec 5.1,
+* emulates the privileged SGX instructions (ECREATE/EADD/EINIT/...) that
+  the kernel module invokes through hypercalls — Sec 3.4,
+* owns every enclave's page table and page-fault handling, cutting the
+  primary OS out of the loop (the anti-controlled-channel design) — Sec 3.2,
+* registers and checks the marshalling buffer — Sec 5.3,
+* drives world switches for the three enclave operation modes — Sec 4,
+* measures enclaves and signs attestation quotes chained to the TPM —
+  Sec 3.3.
+"""
+
+from repro.monitor.structs import (EnclaveMode, EnclaveConfig, PageType,
+                                   Sigstruct, Tcs, Secs)
+from repro.monitor.enclave import Enclave, EnclaveState
+from repro.monitor.rustmonitor import RustMonitor
+from repro.monitor.boot import BootChain, BootResult, measured_late_launch
+from repro.monitor.attestation import (AttestationQuote, QuoteVerifier,
+                                       PlatformGoldenValues)
+
+__all__ = [
+    "EnclaveMode",
+    "EnclaveConfig",
+    "PageType",
+    "Sigstruct",
+    "Tcs",
+    "Secs",
+    "Enclave",
+    "EnclaveState",
+    "RustMonitor",
+    "BootChain",
+    "BootResult",
+    "measured_late_launch",
+    "AttestationQuote",
+    "QuoteVerifier",
+    "PlatformGoldenValues",
+]

@@ -1,0 +1,142 @@
+"""Remote attestation: the HyperEnclave quote (Sec 3.3, Figure 4).
+
+The quote chains three layers of trust:
+
+1. the **TPM quote** — PCRs covering the whole boot chain (CRTM, BIOS,
+   grub, kernel, initramfs, RustMonitor image) *and* the measurement of
+   RustMonitor's attestation public key (``hapk``), signed by the TPM's
+   AIK, certified by the EK;
+2. the **enclave measurement signature** (``ems``) — MRENCLAVE and report
+   data signed with RustMonitor's attestation key;
+3. the verifier's **golden values** — the expected PCR digests for a
+   known-good platform.
+
+A verifier accepts only if all three agree, so tampering with any booted
+component, substituting a different monitor, or forging an enclave
+measurement is detected.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.crypto.hashes import sha256
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import AttestationError
+from repro.hw.tpm import TpmQuote
+
+# PCR allocation (also used by repro.monitor.boot).
+PCR_CRTM = 0
+PCR_BIOS = 1
+PCR_GRUB = 4
+PCR_KERNEL = 8
+PCR_INITRAMFS = 9
+PCR_MONITOR = 10
+PCR_HAPK = 11
+BOOT_PCRS = (PCR_CRTM, PCR_BIOS, PCR_GRUB, PCR_KERNEL, PCR_INITRAMFS,
+             PCR_MONITOR)
+QUOTE_PCRS = BOOT_PCRS + (PCR_HAPK,)
+
+
+@dataclass(frozen=True)
+class EnclaveReport:
+    """What the enclave attests to: its identity plus caller data."""
+
+    mrenclave: bytes
+    mrsigner: bytes
+    isv_prod_id: int
+    isv_svn: int
+    report_data: bytes
+    attributes: int = 0          # SECS attributes (incl. the DEBUG bit)
+
+    def payload(self) -> bytes:
+        return (b"EMS" + self.mrenclave + self.mrsigner
+                + struct.pack("<HHQ", self.isv_prod_id, self.isv_svn,
+                              self.attributes)
+                + sha256(self.report_data))
+
+    @property
+    def debug(self) -> bool:
+        from repro.monitor.structs import ATTR_DEBUG
+        return bool(self.attributes & ATTR_DEBUG)
+
+
+@dataclass(frozen=True)
+class AttestationQuote:
+    """The full HyperEnclave quote (Figure 4)."""
+
+    report: EnclaveReport
+    ems: bytes                   # enclave measurement signature (by hapk)
+    hapk: RsaPublicKey           # hypervisor attestation public key
+    tpm_quote: TpmQuote          # PCRs + hapk binding, signed by the AIK
+
+
+@dataclass(frozen=True)
+class PlatformGoldenValues:
+    """Expected platform state, provisioned from a known-good boot."""
+
+    pcr_values: dict[int, bytes] = field(default_factory=dict)
+    ek_public: RsaPublicKey | None = None
+
+
+class QuoteVerifier:
+    """The remote relying party's verification logic."""
+
+    def __init__(self, golden: PlatformGoldenValues) -> None:
+        if golden.ek_public is None:
+            raise AttestationError("golden values need the TPM EK")
+        self.golden = golden
+
+    def verify(self, quote: AttestationQuote, *,
+               expected_mrenclave: bytes | None = None,
+               expected_nonce: bytes | None = None,
+               require_production: bool = False) -> EnclaveReport:
+        """Full chain verification; returns the report on success.
+
+        ``require_production`` rejects DEBUG enclaves — their memory is
+        readable by the (untrusted) debugger, so no secret should ever be
+        provisioned to one.
+        """
+        # 1. The TPM quote must verify back to the endorsement key.
+        if not quote.tpm_quote.verify(self.golden.ek_public):
+            raise AttestationError("TPM quote signature chain invalid")
+        if expected_nonce is not None and \
+                quote.tpm_quote.nonce != expected_nonce:
+            raise AttestationError("TPM quote nonce mismatch (replay?)")
+
+        reported = dict(zip(quote.tpm_quote.pcr_selection,
+                            quote.tpm_quote.pcr_values))
+
+        # 2. Every boot-chain PCR must match the golden platform.
+        for idx in BOOT_PCRS:
+            expected = self.golden.pcr_values.get(idx)
+            if expected is None:
+                raise AttestationError(f"golden values missing PCR {idx}")
+            if reported.get(idx) != expected:
+                raise AttestationError(
+                    f"PCR {idx} mismatch: booted software differs from the "
+                    f"golden platform")
+
+        # 3. The hapk in the quote must be the one the TPM measured.
+        hapk_pcr = reported.get(PCR_HAPK)
+        expected_hapk_pcr = sha256(b"\x00" * 32, quote.hapk.fingerprint())
+        if hapk_pcr != expected_hapk_pcr:
+            raise AttestationError(
+                "hapk not bound to the TPM: attestation key substitution")
+
+        # 4. The enclave measurement signature must verify under the hapk.
+        if not quote.hapk.verify(quote.report.payload(), quote.ems):
+            raise AttestationError("enclave measurement signature invalid")
+
+        # 5. Optionally pin the enclave identity.
+        if expected_mrenclave is not None and \
+                quote.report.mrenclave != expected_mrenclave:
+            raise AttestationError("MRENCLAVE does not match expectation")
+
+        # 6. Optionally refuse debug builds.
+        if require_production and quote.report.debug:
+            raise AttestationError(
+                "enclave runs with the DEBUG attribute: refusing to "
+                "provision secrets to a debuggable enclave")
+        return quote.report

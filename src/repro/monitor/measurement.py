@@ -1,0 +1,64 @@
+"""Enclave measurement (MRENCLAVE construction).
+
+"During enclave creation, all pages added to the enclave (including the
+corresponding page content, page type, and RWX permissions) are measured
+by RustMonitor to generate the enclave measurement" (Sec 3.3).  The
+intermediate state lives in RustMonitor's memory, invisible to the
+primary OS and the enclaves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.errors import EnclaveError
+from repro.monitor.structs import PagePerm, PageType
+
+
+class MeasurementLog:
+    """An incremental SHA-256 measurement over enclave build operations."""
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self._finalized: bytes | None = None
+        self.pages_measured = 0
+
+    def ecreate(self, base: int, size: int, mode_value: str,
+                attributes: int = 0) -> None:
+        """Measure the ECREATE parameters (geometry, mode, attributes).
+
+        Attributes include the DEBUG bit, so a debug build can never
+        impersonate a production enclave's identity.
+        """
+        self._ensure_open()
+        self._hash.update(b"ECREATE")
+        self._hash.update(struct.pack("<QQQ", base, size, attributes))
+        self._hash.update(mode_value.encode())
+
+    def eadd(self, offset: int, page_type: PageType, perms: PagePerm,
+             content: bytes) -> None:
+        """Measure one added page: offset, type, permissions, content."""
+        self._ensure_open()
+        if len(content) > 4096:
+            raise EnclaveError("page content larger than a page")
+        self._hash.update(b"EADD")
+        self._hash.update(struct.pack("<Q", offset))
+        self._hash.update(page_type.value.encode())
+        self._hash.update(struct.pack("<B", int(perms)))
+        self._hash.update(hashlib.sha256(content).digest())
+        self.pages_measured += 1
+
+    def finalize(self) -> bytes:
+        """EINIT: freeze and return MRENCLAVE."""
+        if self._finalized is None:
+            self._finalized = self._hash.digest()
+        return self._finalized
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized is not None
+
+    def _ensure_open(self) -> None:
+        if self._finalized is not None:
+            raise EnclaveError("measurement already finalized by EINIT")

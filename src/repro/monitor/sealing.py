@@ -1,0 +1,49 @@
+"""Key derivation for sealing and reports (Sec 3.3 "Secret key generation").
+
+"All other key materials, including the enclave's sealing key and report
+key are derived from K_root and the enclave's measurement."  Two sealing
+policies mirror SGX: MRENCLAVE (this exact enclave only) and MRSIGNER
+(any enclave from the same vendor, enabling upgrades to unseal old data).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+from repro.crypto.hashes import hkdf
+
+
+class SealPolicy(enum.Enum):
+    """Which identity the sealing key binds to."""
+
+    MRENCLAVE = "mrenclave"
+    MRSIGNER = "mrsigner"
+
+
+class KeyDerivation:
+    """Derives per-enclave keys from the platform root key."""
+
+    def __init__(self, k_root: bytes) -> None:
+        if len(k_root) < 16:
+            raise ValueError("root key too short")
+        self._k_root = k_root
+
+    def seal_key(self, *, mrenclave: bytes, mrsigner: bytes,
+                 policy: SealPolicy, isv_svn: int = 0) -> bytes:
+        """The enclave's 256-bit sealing key under ``policy``."""
+        if policy is SealPolicy.MRENCLAVE:
+            identity = b"enclave" + mrenclave
+        else:
+            # Keyed by signer identity + SVN floor so a newer version of
+            # the same vendor's enclave can unseal older data.
+            identity = b"signer" + mrsigner + struct.pack("<H", isv_svn)
+        return hkdf(self._k_root, info=b"seal-key" + identity)
+
+    def report_key(self, *, mrenclave: bytes) -> bytes:
+        """The key MACing local attestation reports for this enclave."""
+        return hkdf(self._k_root, info=b"report-key" + mrenclave)
+
+    def attestation_key_seed(self) -> bytes:
+        """Seed for RustMonitor's RSA attestation key pair."""
+        return hkdf(self._k_root, info=b"hypervisor-attestation-key")

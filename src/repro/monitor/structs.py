@@ -1,0 +1,173 @@
+"""Enclave data structures, kept close to their SGX counterparts.
+
+"To be compatible with the official Intel SGX SDK, most data structures
+involved in HyperEnclave (such as the SIGSTRUCT structure, the SECS page,
+and the TCS page) are similar to that of SGX" (Sec 3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from repro.crypto.hashes import sha256
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+from repro.errors import EnclaveError
+from repro.hw.phys import PAGE_SIZE
+
+
+class EnclaveMode(enum.Enum):
+    """The flexible enclave operation modes (Sec 4).
+
+    ``SGX`` is not a HyperEnclave mode: it tags enclaves running on the
+    Intel SGX *baseline platform* the evaluation compares against, so the
+    cost engine can key its tables uniformly.
+    """
+
+    GU = "gu"   # guest user mode (guest ring-3): the basic mode
+    HU = "hu"   # host user mode (host ring-3): optimal world switches
+    P = "p"     # guest privileged mode (guest ring-0/3): in-enclave
+                # exception handling + own level-1 page table
+    SGX = "sgx"  # Intel SGX baseline (comparison platform)
+
+
+class PageType(enum.Enum):
+    """Enclave page types (mirroring SGX's SECINFO page types)."""
+
+    SECS = "secs"
+    TCS = "tcs"
+    REG = "reg"      # regular code/data
+    SSA = "ssa"      # state save area
+
+
+class PagePerm(enum.IntFlag):
+    """RWX permissions carried per enclave page."""
+
+    R = 1
+    W = 2
+    X = 4
+
+    RW = R | W
+    RX = R | X
+    RWX = R | W | X
+
+
+@dataclass
+class EnclaveConfig:
+    """The enclave's configuration file (XML in the SGX SDK).
+
+    ``marshalling_buffer_size`` is HyperEnclave's addition: "The size of
+    the marshalling buffer can be configured in the enclave's
+    configuration file, with a default size" (Sec 5.3).
+    """
+
+    mode: EnclaveMode = EnclaveMode.GU
+    heap_size: int = 4 * 1024 * 1024
+    stack_size: int = 256 * 1024
+    tcs_count: int = 4
+    ssa_frames_per_tcs: int = 2      # >1 enables in-enclave exceptions
+    marshalling_buffer_size: int = 64 * 1024
+    debug: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("heap_size", "stack_size", "marshalling_buffer_size"):
+            value = getattr(self, name)
+            if value <= 0 or value % PAGE_SIZE:
+                raise EnclaveError(
+                    f"{name} must be a positive multiple of {PAGE_SIZE}")
+        if self.tcs_count < 1:
+            raise EnclaveError("an enclave needs at least one TCS")
+        if self.ssa_frames_per_tcs < 1:
+            raise EnclaveError("each TCS needs at least one SSA frame")
+
+
+# SECS attribute bits (subset of SGX's ATTRIBUTES).
+ATTR_DEBUG = 1 << 0
+
+
+@dataclass
+class Secs:
+    """SGX Enclave Control Structure: identity and geometry of an enclave."""
+
+    enclave_id: int
+    base: int                  # ELRANGE base virtual address
+    size: int                  # ELRANGE size (bytes)
+    mode: EnclaveMode
+    attributes: int = 0
+    mrenclave: bytes = b""     # final measurement, set at EINIT
+    mrsigner: bytes = b""      # hash of the SIGSTRUCT signer key
+    isv_prod_id: int = 0
+    isv_svn: int = 0
+
+    @property
+    def debug(self) -> bool:
+        return bool(self.attributes & ATTR_DEBUG)
+
+    def contains(self, va: int, size: int = 1) -> bool:
+        """Is [va, va+size) inside ELRANGE?"""
+        return self.base <= va and va + size <= self.base + self.size
+
+
+@dataclass(eq=False)
+class SsaFrame:
+    """A state-save-area frame: the CPU context saved on an AEX."""
+
+    regs: dict[str, int] = field(default_factory=dict)
+    exception_vector: int | None = None
+    exception_addr: int | None = None
+    valid: bool = False
+
+
+@dataclass(eq=False)
+class Tcs:
+    """Thread Control Structure: one per enclave thread (Sec 3.4)."""
+
+    index: int
+    entry_va: int                       # enclave entry point (OENTRY)
+    ssa: list[SsaFrame] = field(default_factory=list)
+    busy: bool = False
+    current_ssa: int = 0                # CSSA
+
+    def available_ssa(self) -> SsaFrame:
+        """The SSA frame an AEX would save into; raises when exhausted."""
+        if self.current_ssa >= len(self.ssa):
+            raise EnclaveError(
+                "SSA frames exhausted: nested exception overflow")
+        return self.ssa[self.current_ssa]
+
+
+@dataclass(frozen=True)
+class Sigstruct:
+    """The enclave signature structure (SIGSTRUCT).
+
+    Carries the expected measurement and the vendor's signature over it.
+    EINIT verifies the signature and compares measurements.
+    """
+
+    enclave_hash: bytes          # expected MRENCLAVE
+    signer: RsaPublicKey
+    signature: bytes
+    isv_prod_id: int = 0
+    isv_svn: int = 0
+
+    def signed_payload(self) -> bytes:
+        return (b"SIGSTRUCT" + self.enclave_hash
+                + struct.pack("<HH", self.isv_prod_id, self.isv_svn))
+
+    def verify(self) -> bool:
+        return self.signer.verify(self.signed_payload(), self.signature)
+
+    def mrsigner(self) -> bytes:
+        """Hash of the signer's public key (SGX's MRSIGNER)."""
+        return sha256(self.signer.to_bytes())
+
+    @classmethod
+    def sign(cls, enclave_hash: bytes, key: RsaKeyPair, *,
+             isv_prod_id: int = 0, isv_svn: int = 0) -> "Sigstruct":
+        unsigned = cls(enclave_hash=enclave_hash, signer=key.public,
+                       signature=b"", isv_prod_id=isv_prod_id,
+                       isv_svn=isv_svn)
+        return cls(enclave_hash=enclave_hash, signer=key.public,
+                   signature=key.sign(unsigned.signed_payload()),
+                   isv_prod_id=isv_prod_id, isv_svn=isv_svn)

@@ -1,0 +1,19 @@
+"""The untrusted primary OS (the "normal mode" world).
+
+A deliberately small Linux-shaped kernel: processes with real page tables,
+mmap (including ``MAP_POPULATE`` and page pinning, which the marshalling
+buffer needs), signal delivery (the first phase of two-phase exception
+handling), a round-robin scheduler, an in-memory VFS, loopback sockets,
+and the ``/dev/hyper_enclave`` kernel module that relays ioctls to
+RustMonitor hypercalls (Sec 5.2).
+
+Nothing in here is trusted: after the measured late launch the monitor
+polices every physical access this layer makes (R-1) and every DMA its
+devices issue (R-3).
+"""
+
+from repro.osim.kernel import Kernel
+from repro.osim.process import Process, VmArea
+from repro.osim.kmod import HyperEnclaveDevice, Ioctl
+
+__all__ = ["Kernel", "Process", "VmArea", "HyperEnclaveDevice", "Ioctl"]

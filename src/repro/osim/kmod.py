@@ -1,0 +1,82 @@
+"""The HyperEnclave kernel module: /dev/hyper_enclave (Sec 5.2).
+
+Loaded by the primary OS at boot (the loading itself happens inside
+``measured_late_launch``); afterwards it exposes the emulated privileged
+SGX operations to applications as ioctls, each of which is a syscall into
+the kernel plus a hypercall into RustMonitor.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import OsError
+from repro.monitor.rustmonitor import RustMonitor
+from repro.osim.kernel import Kernel
+
+
+class Ioctl(enum.Enum):
+    """Command numbers of /dev/hyper_enclave."""
+
+    ECREATE = 0xA001
+    EADD = 0xA002
+    ADD_TCS = 0xA003
+    RESERVE_REGION = 0xA004
+    EINIT = 0xA005
+    EREMOVE = 0xA006
+    MPROTECT = 0xA007
+    PIN_BUFFER = 0xA008
+
+
+class HyperEnclaveDevice:
+    """The character device the uRTS opens."""
+
+    path = "/dev/hyper_enclave"
+
+    def __init__(self, kernel: Kernel, monitor: RustMonitor) -> None:
+        self.kernel = kernel
+        self.monitor = monitor
+
+    def ioctl(self, process, command: Ioctl, **args: Any):
+        """Dispatch one ioctl: a syscall plus the corresponding hypercall."""
+        self.kernel.charge_syscall(300)
+        if command is Ioctl.ECREATE:
+            return self.monitor.ecreate(args["config"], size=args["size"],
+                                        base=args.get(
+                                            "base", _default_base()))
+        if command is Ioctl.EADD:
+            return self.monitor.eadd(
+                args["enclave_id"], args["offset"],
+                args.get("content", b""),
+                page_type=args["page_type"], perms=args["perms"],
+                measure=args.get("measure", True))
+        if command is Ioctl.ADD_TCS:
+            return self.monitor.add_tcs(args["enclave_id"], args["offset"],
+                                        args["entry_va"])
+        if command is Ioctl.RESERVE_REGION:
+            return self.monitor.reserve_region(
+                args["enclave_id"], args["start_va"], args["size"],
+                args.get("perms", _default_perms()))
+        if command is Ioctl.EINIT:
+            return self.monitor.einit(args["enclave_id"], args["sigstruct"],
+                                      marshalling=args.get("marshalling"))
+        if command is Ioctl.EREMOVE:
+            return self.monitor.eremove(args["enclave_id"])
+        if command is Ioctl.MPROTECT:
+            return self.monitor.enclave_mprotect(
+                args["enclave_id"], args["va"], args["npages"],
+                args["perms"])
+        if command is Ioctl.PIN_BUFFER:
+            return self.kernel.pin(process, args["vma"])
+        raise OsError(f"unknown ioctl {command}")
+
+
+def _default_base() -> int:
+    from repro.monitor.enclave import ENCLAVE_BASE_VA
+    return ENCLAVE_BASE_VA
+
+
+def _default_perms():
+    from repro.monitor.structs import PagePerm
+    return PagePerm.RW

@@ -1,0 +1,97 @@
+"""Loopback networking.
+
+The Lighttpd and Redis evaluations run clients "over the local loopback"
+(Sec 7.4).  We model a loopback with per-message queues and a kernel
+network-stack cost per send/receive; NIC interrupt arrivals (which force
+AEXes out of running enclaves) are derived from the machine's interrupt
+model by the benchmark drivers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import OsError
+from repro.hw.machine import Machine
+
+# Kernel TCP/IP stack cost per send or receive of one message (loopback:
+# no wire, but checksums, socket locks and copies are real).
+STACK_CYCLES_PER_MSG = 30_000
+STACK_CYCLES_PER_BYTE = 0.12
+
+
+@dataclass
+class Connection:
+    """One established loopback connection (bidirectional queues)."""
+
+    client_to_server: deque[bytes] = field(default_factory=deque)
+    server_to_client: deque[bytes] = field(default_factory=deque)
+    open: bool = True
+
+    def close(self) -> None:
+        self.open = False
+
+
+class Loopback:
+    """The loopback interface: listeners and connections."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._listeners: dict[int, deque[Connection]] = {}
+        self.messages_sent = 0
+
+    # -- server side ----------------------------------------------------------
+
+    def listen(self, port: int) -> None:
+        if port in self._listeners:
+            raise OsError(f"port {port} already bound")
+        self._listeners[port] = deque()
+
+    def accept(self, port: int) -> Connection:
+        queue = self._listeners.get(port)
+        if queue is None:
+            raise OsError(f"nothing listening on port {port}")
+        if not queue:
+            raise OsError(f"no pending connection on port {port}")
+        return queue.popleft()
+
+    def has_pending(self, port: int) -> bool:
+        queue = self._listeners.get(port)
+        return bool(queue)
+
+    # -- client side -----------------------------------------------------------
+
+    def connect(self, port: int) -> Connection:
+        queue = self._listeners.get(port)
+        if queue is None:
+            raise OsError(f"connection refused on port {port}")
+        conn = Connection()
+        queue.append(conn)
+        return conn
+
+    # -- data transfer -----------------------------------------------------------
+
+    def _charge(self, nbytes: int) -> None:
+        self.machine.cycles.charge(
+            STACK_CYCLES_PER_MSG + nbytes * STACK_CYCLES_PER_BYTE, "netstack")
+
+    def send(self, conn: Connection, data: bytes, *,
+             from_client: bool) -> None:
+        if not conn.open:
+            raise OsError("send on closed connection")
+        self._charge(len(data))
+        self.messages_sent += 1
+        if from_client:
+            conn.client_to_server.append(data)
+        else:
+            conn.server_to_client.append(data)
+
+    def recv(self, conn: Connection, *, from_client: bool) -> bytes | None:
+        """Pop one message; None when the queue is empty."""
+        queue = conn.client_to_server if from_client else conn.server_to_client
+        if not queue:
+            return None
+        data = queue.popleft()
+        self._charge(len(data))
+        return data

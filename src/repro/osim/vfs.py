@@ -1,0 +1,62 @@
+"""A small in-memory filesystem.
+
+Used twice: by the primary OS (baseline servers read their documents from
+it) and — a separate instance — inside the LibOS, where Occlum keeps an
+encrypted in-enclave FS.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OsError
+
+_READ_CYCLES_PER_BYTE = 0.75
+_LOOKUP_CYCLES = 350
+
+
+class Vfs:
+    """Path -> bytes with simple cost accounting."""
+
+    def __init__(self, charge=None) -> None:
+        self._files: dict[str, bytes] = {}
+        self._charge = charge or (lambda cycles, cat: None)
+
+    def write_file(self, path: str, data: bytes) -> None:
+        self._normalize(path)
+        self._charge(_LOOKUP_CYCLES + len(data) * _READ_CYCLES_PER_BYTE,
+                     "vfs")
+        self._files[path] = bytes(data)
+
+    def read_file(self, path: str) -> bytes:
+        self._normalize(path)
+        self._charge(_LOOKUP_CYCLES, "vfs")
+        data = self._files.get(path)
+        if data is None:
+            raise OsError(f"no such file: {path}")
+        self._charge(len(data) * _READ_CYCLES_PER_BYTE, "vfs")
+        return data
+
+    def exists(self, path: str) -> bool:
+        self._charge(_LOOKUP_CYCLES, "vfs")
+        return path in self._files
+
+    def stat(self, path: str) -> int:
+        """Size in bytes."""
+        self._charge(_LOOKUP_CYCLES, "vfs")
+        data = self._files.get(path)
+        if data is None:
+            raise OsError(f"no such file: {path}")
+        return len(data)
+
+    def unlink(self, path: str) -> None:
+        self._charge(_LOOKUP_CYCLES, "vfs")
+        if path not in self._files:
+            raise OsError(f"no such file: {path}")
+        del self._files[path]
+
+    def listdir(self) -> list[str]:
+        return sorted(self._files)
+
+    @staticmethod
+    def _normalize(path: str) -> None:
+        if not path.startswith("/"):
+            raise OsError(f"paths must be absolute: {path!r}")

@@ -1,0 +1,20 @@
+"""Cross-platform port models (Sec 8, "HyperEnclave on other platforms").
+
+The paper argues HyperEnclave is ISA-portable because it only needs
+two-level address translation and a TPM: on ARMv8 the software modules
+map onto exception levels, on RISC-V onto H-extension modes.  These
+modules make that argument executable: each port declares the privilege
+mapping for every HyperEnclave mode, the entry/exit mechanisms, and a
+world-switch cost structure analogous to the x86 tables, and a shared
+checker validates that the mapping is complete and self-consistent.
+"""
+
+from repro.ports.base import (LevelMapping, PortMapping, SwitchMechanism,
+                              validate_port)
+from repro.ports.armv8 import ARMV8_PORT
+from repro.ports.riscv import RISCV_PORT
+
+ALL_PORTS = {"armv8": ARMV8_PORT, "riscv": RISCV_PORT}
+
+__all__ = ["LevelMapping", "PortMapping", "SwitchMechanism",
+           "validate_port", "ARMV8_PORT", "RISCV_PORT", "ALL_PORTS"]

@@ -1,0 +1,36 @@
+"""The ARMv8 port (Sec 8).
+
+"The monitor mode for RustMonitor can be mapped to EL2; the normal mode
+for the primary OS and untrusted part of the applications can be mapped
+to EL1 and EL0 respectively; the secure mode for enclaves can be mapped
+flexibly to EL1 or EL0.  Memory isolation can be supported similarly with
+the support of stage 2 address translations."
+
+Costs are estimates in the same currency as ``repro.hw.costs``:
+HVC/ERET round trips on ARMv8 are comparable to VMX transitions, and
+VHE (E2H) gives an EL0-under-EL2 context that plays HU-Enclave's role.
+"""
+
+from repro.ports.base import LevelMapping, PortMapping, SwitchMechanism
+
+ARMV8_PORT = PortMapping(
+    isa="armv8",
+    stage2_name="stage-2 translation (VMSAv8-64)",
+    has_tpm_story="discrete TPM on ARM servers, or firmware TPM",
+    levels=(
+        LevelMapping("monitor", "EL2",
+                     notes="RustMonitor as a thin EL2 hypervisor"),
+        LevelMapping("primary-os", "EL1", SwitchMechanism.ERET, 700,
+                     notes="demoted via ERET after late launch"),
+        LevelMapping("app", "EL0", SwitchMechanism.ERET, 150),
+        LevelMapping("enclave-gu", "EL0", SwitchMechanism.HYPERCALL, 1650,
+                     notes="own stage-1 + stage-2 tables; HVC to enter"),
+        LevelMapping("enclave-p", "EL1", SwitchMechanism.HYPERCALL, 1800,
+                     notes="guest-privileged: own VBAR_EL1 (in-enclave "
+                           "exceptions) and TTBR0/1_EL1 page tables"),
+        LevelMapping("enclave-hu", "EL0 (E2H host)", SwitchMechanism.ERET,
+                     1100,
+                     notes="VHE host-user context: ERET/SVC switches, no "
+                           "stage-2 in the path"),
+    ),
+)

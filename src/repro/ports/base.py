@@ -1,0 +1,88 @@
+"""Common structure for platform ports."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.monitor.structs import EnclaveMode
+
+
+class PortError(ReproError):
+    """The port mapping is incomplete or inconsistent."""
+
+
+class SwitchMechanism(enum.Enum):
+    """How a world switch enters/leaves the monitor on this ISA."""
+
+    HYPERCALL = "hypercall"       # HVC / VM exit / virtual trap
+    SYSCALL = "syscall"           # SVC / ECALL-to-supervisor / SYSCALL
+    ERET = "eret"                 # exception return into a lower level
+
+
+@dataclass(frozen=True)
+class LevelMapping:
+    """Where one HyperEnclave software module lives on the target ISA."""
+
+    module: str                   # "monitor" | "primary-os" | "app" | mode
+    level: str                    # e.g. "EL2", "VS-mode"
+    entry: SwitchMechanism | None = None    # how the monitor reaches it
+    entry_cycles: int | None = None         # estimated switch cost
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class PortMapping:
+    """A complete HyperEnclave port to one ISA."""
+
+    isa: str
+    stage2_name: str              # the 2-level-translation feature name
+    has_tpm_story: str            # how root-of-trust is provided
+    levels: tuple[LevelMapping, ...] = field(default_factory=tuple)
+
+    def for_module(self, module: str) -> LevelMapping:
+        for mapping in self.levels:
+            if mapping.module == module:
+                return mapping
+        raise PortError(f"{self.isa}: no mapping for module {module!r}")
+
+    def enclave_mapping(self, mode: EnclaveMode) -> LevelMapping:
+        return self.for_module(f"enclave-{mode.value}")
+
+
+REQUIRED_MODULES = ("monitor", "primary-os", "app",
+                    "enclave-gu", "enclave-p", "enclave-hu")
+
+
+def validate_port(port: PortMapping) -> None:
+    """Check completeness and the paper's structural claims."""
+    for module in REQUIRED_MODULES:
+        port.for_module(module)             # raises if missing
+
+    monitor = port.for_module("monitor")
+    if monitor.entry is not None:
+        raise PortError(f"{port.isa}: the monitor is entered by traps, "
+                        f"it has no entry mechanism of its own")
+
+    # Every enclave mode must be reachable, with a cost estimate.
+    for mode in (EnclaveMode.GU, EnclaveMode.HU, EnclaveMode.P):
+        mapping = port.enclave_mapping(mode)
+        if mapping.entry is None or not mapping.entry_cycles:
+            raise PortError(
+                f"{port.isa}: enclave mode {mode.value} lacks an entry "
+                f"mechanism or cost estimate")
+
+    # Structural claim from Table 1: the host-user-style mode (ring/
+    # syscall switches) must be cheaper to enter than trap-based modes.
+    hu = port.enclave_mapping(EnclaveMode.HU)
+    gu = port.enclave_mapping(EnclaveMode.GU)
+    p = port.enclave_mapping(EnclaveMode.P)
+    if not hu.entry_cycles < gu.entry_cycles <= p.entry_cycles:
+        raise PortError(
+            f"{port.isa}: expected HU < GU <= P entry costs, got "
+            f"{hu.entry_cycles}/{gu.entry_cycles}/{p.entry_cycles}")
+
+    # The primary OS must sit *below* the monitor's privilege.
+    if monitor.level == port.for_module("primary-os").level:
+        raise PortError(f"{port.isa}: primary OS shares the monitor level")

@@ -1,0 +1,36 @@
+"""The RISC-V port (Sec 8).
+
+"The RISC-V H-extension specification has evolved to v0.6.1 ... Both ARM
+and RISC-V virtualization support two-level address translation.
+Research has been conducted to support firmware TPM on RISC-V."
+
+RustMonitor runs in HS-mode; the primary OS is demoted into VS-mode with
+its apps in VU-mode; enclaves map to VU (GU-style), VS (P-style) or
+plain U-mode under HS (HU-style).  G-stage translation provides the
+memory isolation.
+"""
+
+from repro.ports.base import LevelMapping, PortMapping, SwitchMechanism
+
+RISCV_PORT = PortMapping(
+    isa="riscv",
+    stage2_name="G-stage translation (H-extension v0.6.1+)",
+    has_tpm_story="firmware TPM (Boubakri et al., DATE'21)",
+    levels=(
+        LevelMapping("monitor", "HS-mode",
+                     notes="RustMonitor as a thin HS-mode hypervisor"),
+        LevelMapping("primary-os", "VS-mode", SwitchMechanism.ERET, 650,
+                     notes="SRET into the virtualized supervisor"),
+        LevelMapping("app", "VU-mode", SwitchMechanism.ERET, 140),
+        LevelMapping("enclave-gu", "VU-mode", SwitchMechanism.HYPERCALL,
+                     1500,
+                     notes="own VS-stage + G-stage tables; virtual trap "
+                           "to enter"),
+        LevelMapping("enclave-p", "VS-mode", SwitchMechanism.HYPERCALL,
+                     1700,
+                     notes="guest-privileged: own stvec (in-enclave "
+                           "traps) and satp page table"),
+        LevelMapping("enclave-hu", "U-mode", SwitchMechanism.SYSCALL, 1000,
+                     notes="host user under HS: ECALL/SRET switches"),
+    ),
+)

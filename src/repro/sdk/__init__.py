@@ -1,0 +1,27 @@
+"""The enclave SDK (Sec 3.4 / 5.3).
+
+API-compatible in spirit with the Intel SGX SDK: applications define their
+trusted/untrusted interface in an EDL file, the :mod:`repro.sdk.edger8r`
+generates the proxies and bridges, the uRTS loads enclaves through
+``/dev/hyper_enclave`` and owns the marshalling buffer, and the tRTS
+dispatches ECALLs, provides ``sgx_ocalloc``-style OCALL marshalling, and
+exposes sealing/attestation to enclave code.
+"""
+
+from repro.sdk.edl import parse_edl, EdlInterface, FuncSpec, ParamSpec, \
+    Direction
+from repro.sdk.image import EnclaveImage
+from repro.sdk.urts import EnclaveHandle, UntrustedRuntime
+from repro.sdk.trts import EnclaveContext
+
+__all__ = [
+    "parse_edl",
+    "EdlInterface",
+    "FuncSpec",
+    "ParamSpec",
+    "Direction",
+    "EnclaveImage",
+    "EnclaveHandle",
+    "UntrustedRuntime",
+    "EnclaveContext",
+]

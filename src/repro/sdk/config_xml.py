@@ -1,0 +1,92 @@
+"""SGX-SDK-style enclave configuration files.
+
+The SGX SDK configures enclaves through ``Enclave.config.xml``;
+HyperEnclave extends it with the marshalling-buffer size ("The size of
+the marshalling buffer can be configured in the enclave's configuration
+file", Sec 5.3) and the operation mode.  Example::
+
+    <EnclaveConfiguration>
+      <ProdID>1</ProdID>
+      <ISVSVN>3</ISVSVN>
+      <HeapMaxSize>0x400000</HeapMaxSize>
+      <StackMaxSize>0x40000</StackMaxSize>
+      <TCSNum>4</TCSNum>
+      <SSAFrameNum>2</SSAFrameNum>
+      <MarshallingBufferSize>0x10000</MarshallingBufferSize>
+      <EnclaveMode>GU</EnclaveMode>
+      <DisableDebug>1</DisableDebug>
+    </EnclaveConfiguration>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+
+from repro.errors import SdkError
+from repro.monitor.structs import EnclaveConfig, EnclaveMode
+
+_INT_FIELDS = {
+    "HeapMaxSize": "heap_size",
+    "StackMaxSize": "stack_size",
+    "TCSNum": "tcs_count",
+    "SSAFrameNum": "ssa_frames_per_tcs",
+    "MarshallingBufferSize": "marshalling_buffer_size",
+}
+
+
+@dataclass(frozen=True)
+class ParsedEnclaveConfig:
+    """An XML config resolved into SDK objects."""
+
+    config: EnclaveConfig
+    prod_id: int
+    isv_svn: int
+
+
+def _parse_int(text: str, tag: str) -> int:
+    try:
+        return int(text.strip(), 0)      # accepts 0x... like the SDK
+    except ValueError as exc:
+        raise SdkError(f"<{tag}>: not an integer: {text!r}") from exc
+
+
+def parse_config_xml(text: str) -> ParsedEnclaveConfig:
+    """Parse an enclave configuration file."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SdkError(f"malformed enclave config XML: {exc}") from exc
+    if root.tag != "EnclaveConfiguration":
+        raise SdkError(
+            f"expected <EnclaveConfiguration>, got <{root.tag}>")
+
+    kwargs: dict[str, object] = {}
+    prod_id = 0
+    isv_svn = 0
+    for child in root:
+        tag = child.tag
+        text_value = child.text or ""
+        if tag in _INT_FIELDS:
+            kwargs[_INT_FIELDS[tag]] = _parse_int(text_value, tag)
+        elif tag == "ProdID":
+            prod_id = _parse_int(text_value, tag)
+        elif tag == "ISVSVN":
+            isv_svn = _parse_int(text_value, tag)
+        elif tag == "EnclaveMode":
+            name = text_value.strip().upper()
+            try:
+                kwargs["mode"] = EnclaveMode[name]
+            except KeyError as exc:
+                raise SdkError(f"<EnclaveMode>: unknown mode {name!r} "
+                               f"(GU, HU, or P)") from exc
+        elif tag == "DisableDebug":
+            kwargs["debug"] = not _parse_int(text_value, tag)
+        else:
+            raise SdkError(f"unknown enclave config element <{tag}>")
+
+    if kwargs.get("mode") is EnclaveMode.SGX:
+        raise SdkError("<EnclaveMode>SGX</EnclaveMode> is reserved for "
+                       "the baseline platform")
+    return ParsedEnclaveConfig(config=EnclaveConfig(**kwargs),
+                               prod_id=prod_id, isv_svn=isv_svn)

@@ -1,0 +1,180 @@
+"""Enclave images and their memory layout.
+
+An image bundles the EDL interface, the trusted functions (the "enclave
+library"), and the configuration.  ``compute_layout`` is the single source
+of truth for the page layout, used both by the uRTS loader (to issue the
+EADDs) and by ``EnclaveImage.sign`` (the offline ``sgx_sign`` equivalent
+that pre-computes MRENCLAVE for the SIGSTRUCT).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.crypto.hashes import sha256
+from repro.crypto.rsa import RsaKeyPair
+from repro.errors import SdkError
+from repro.hw.phys import PAGE_SIZE
+from repro.monitor.enclave import ENCLAVE_BASE_VA
+from repro.monitor.measurement import MeasurementLog
+from repro.monitor.structs import (EnclaveConfig, PagePerm, PageType,
+                                   Sigstruct)
+from repro.sdk.edl import EdlInterface, parse_edl
+
+TrustedFunc = Callable[..., object]
+
+
+def _function_fingerprint(func: TrustedFunc) -> bytes:
+    """A stable digest of a trusted function (its source when available)."""
+    try:
+        body = inspect.getsource(func).encode()
+    except (OSError, TypeError):
+        body = func.__qualname__.encode()
+    return sha256(func.__qualname__.encode(), body)
+
+
+@dataclass
+class EnclaveImage:
+    """A compiled enclave: interface + trusted code + configuration."""
+
+    name: str
+    edl: EdlInterface
+    trusted_funcs: dict[str, TrustedFunc]
+    config: EnclaveConfig = field(default_factory=EnclaveConfig)
+    exception_handler: TrustedFunc | None = None
+    isv_prod_id: int = 0
+    isv_svn: int = 0
+
+    def __post_init__(self) -> None:
+        for spec in self.edl.trusted:
+            if spec.public and spec.name not in self.trusted_funcs:
+                raise SdkError(
+                    f"image {self.name!r}: public ECALL {spec.name!r} has "
+                    f"no implementation")
+
+    @classmethod
+    def build(cls, name: str, edl_text: str,
+              trusted_funcs: dict[str, TrustedFunc],
+              config: EnclaveConfig | None = None, *,
+              config_xml: str | None = None,
+              **kwargs) -> "EnclaveImage":
+        """Build an image from EDL text plus either an
+        :class:`EnclaveConfig` or an SGX-style XML configuration file."""
+        if config_xml is not None:
+            if config is not None:
+                raise SdkError("pass either config or config_xml, not both")
+            from repro.sdk.config_xml import parse_config_xml
+            parsed = parse_config_xml(config_xml)
+            config = parsed.config
+            kwargs.setdefault("isv_prod_id", parsed.prod_id)
+            kwargs.setdefault("isv_svn", parsed.isv_svn)
+        return cls(name=name, edl=parse_edl(edl_text),
+                   trusted_funcs=trusted_funcs,
+                   config=config or EnclaveConfig(), **kwargs)
+
+    def code_bytes(self) -> bytes:
+        """The enclave's "text section": a canonical serialization of the
+        interface and every trusted function.  Any change to the code or
+        interface changes these bytes, hence the measurement."""
+        parts = [b"IMAGE", self.name.encode()]
+        for spec in sorted(self.edl.trusted, key=lambda s: s.name):
+            parts.append(spec.name.encode())
+            parts.append(spec.return_type.encode())
+            for p in spec.params:
+                parts.append(f"{p.name}:{p.type}:{p.direction.value}:"
+                             f"{p.size_expr}".encode())
+        for fname in sorted(self.trusted_funcs):
+            parts.append(fname.encode())
+            parts.append(_function_fingerprint(self.trusted_funcs[fname]))
+        if self.exception_handler is not None:
+            parts.append(_function_fingerprint(self.exception_handler))
+        return b"\x00".join(parts)
+
+    def sign(self, key: RsaKeyPair, *, base: int = ENCLAVE_BASE_VA
+             ) -> Sigstruct:
+        """The ``sgx_sign`` step: replay the layout offline, measure it,
+        and sign the resulting MRENCLAVE."""
+        from repro.monitor.structs import ATTR_DEBUG
+        layout = compute_layout(self, base=base)
+        log = MeasurementLog()
+        log.ecreate(base, layout.elrange_size, self.config.mode.value,
+                    ATTR_DEBUG if self.config.debug else 0)
+        for page in layout.pages:
+            log.eadd(page.offset, page.page_type, page.perms, page.content)
+        return Sigstruct.sign(log.finalize(), key,
+                              isv_prod_id=self.isv_prod_id,
+                              isv_svn=self.isv_svn)
+
+
+@dataclass(frozen=True)
+class LayoutPage:
+    """One page the loader must EADD."""
+
+    offset: int
+    page_type: PageType
+    perms: PagePerm
+    content: bytes
+    tcs_entry_va: int | None = None    # set on TCS pages
+
+
+@dataclass(frozen=True)
+class Layout:
+    """The full enclave memory plan."""
+
+    elrange_size: int
+    pages: tuple[LayoutPage, ...]
+    heap_start: int              # offset of the demand-committed heap
+    heap_size: int
+    entry_offset: int            # enclave entry point (start of code)
+
+
+def compute_layout(image: EnclaveImage, *, base: int = ENCLAVE_BASE_VA
+                   ) -> Layout:
+    """Plan the enclave's pages.
+
+    Layout (offsets within ELRANGE)::
+
+        [ code | globals | stacks (per TCS) | TCS | SSA | heap (reserved) ]
+
+    The heap is *not* EADDed: it demand-commits through RustMonitor's
+    page-fault path (the EDMM behaviour Sec 3.2 highlights).
+    """
+    config = image.config
+    pages: list[LayoutPage] = []
+    code = image.code_bytes()
+    offset = 0
+
+    for start in range(0, max(len(code), 1), PAGE_SIZE):
+        pages.append(LayoutPage(offset=offset, page_type=PageType.REG,
+                                perms=PagePerm.RX,
+                                content=code[start:start + PAGE_SIZE]))
+        offset += PAGE_SIZE
+
+    pages.append(LayoutPage(offset=offset, page_type=PageType.REG,
+                            perms=PagePerm.RW, content=b""))   # globals
+    offset += PAGE_SIZE
+
+    for _ in range(config.tcs_count):
+        for _ in range(config.stack_size // PAGE_SIZE):
+            pages.append(LayoutPage(offset=offset, page_type=PageType.REG,
+                                    perms=PagePerm.RW, content=b""))
+            offset += PAGE_SIZE
+
+    for _ in range(config.tcs_count):
+        pages.append(LayoutPage(offset=offset, page_type=PageType.TCS,
+                                perms=PagePerm.RW, content=b"",
+                                tcs_entry_va=base))
+        offset += PAGE_SIZE
+        for _ in range(config.ssa_frames_per_tcs):
+            pages.append(LayoutPage(offset=offset, page_type=PageType.SSA,
+                                    perms=PagePerm.RW, content=b""))
+            offset += PAGE_SIZE
+
+    heap_start = offset
+    offset += config.heap_size
+
+    return Layout(elrange_size=offset, pages=tuple(pages),
+                  heap_start=heap_start, heap_size=config.heap_size,
+                  entry_offset=0)

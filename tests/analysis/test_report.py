@@ -1,0 +1,73 @@
+"""Tests for the markdown report generator."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import main, render
+
+
+@pytest.fixture
+def sample_results():
+    return {
+        "table1_edge_calls": {
+            "HU-Enclave": {"ecall": 8440}, "GU-Enclave": {"ecall": 9480},
+            "P-Enclave": {"ecall": 9700}, "Intel SGX": {"ecall": 14432},
+        },
+        "table2_exceptions": {
+            "P-Enclave": {"ud": 258}, "GU-Enclave": {"ud": 17490},
+            "Intel SGX": {"ud": 28561},
+        },
+        "fig8b_sqlite": {
+            "records": [10, 20], "GU-Enclave": [0.99, 0.98],
+            "HU-Enclave": [0.99, 0.98], "SGX": [0.8, 0.5],
+        },
+        "fig8d_redis": {"relative_max_throughput": {
+            "HU-Enclave": 0.76, "GU-Enclave": 0.72, "SGX": 0.52,
+            "baseline": 1.0}},
+        "fig11_memenc": {"normalized": {"sgx/random": [1.0, 1000.0]}},
+        "ablation_edmm": {},
+    }
+
+
+def test_render_marks_exact_matches(sample_results):
+    text = render(sample_results)
+    assert text.count("(exact)") == 7
+
+
+def test_render_marks_mismatches(sample_results):
+    sample_results["table1_edge_calls"]["HU-Enclave"]["ecall"] = 9999
+    text = render(sample_results)
+    assert "DIFFERS" in text
+
+
+def test_render_handles_partial_results():
+    text = render({"ablation_edmm": {}})
+    assert "Ablations recorded" in text
+    assert "Table 1" not in text
+
+
+def test_render_lists_ablations(sample_results):
+    assert "- ablation_edmm" in render(sample_results)
+
+
+def test_main_with_file(tmp_path, capsys, sample_results):
+    path = tmp_path / "results.json"
+    path.write_text(json.dumps(sample_results))
+    assert main([str(path)]) == 0
+    assert "Benchmark run digest" in capsys.readouterr().out
+
+
+def test_main_missing_file(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.json")]) == 1
+    assert "no results" in capsys.readouterr().err
+
+
+def test_main_against_recorded_run(capsys):
+    """The repo's recorded results must render (regression guard)."""
+    import pathlib
+    recorded = pathlib.Path(__file__).parents[2] / "benchmarks" \
+        / "results.json"
+    if not recorded.exists():
+        pytest.skip("no recorded run")
+    assert main([str(recorded)]) == 0

@@ -1,0 +1,49 @@
+"""Tests for result formatting."""
+
+import pytest
+
+from repro.analysis.tables import TextTable, fmt_cycles, fmt_ratio, series
+
+
+def test_fmt_cycles():
+    assert fmt_cycles(1234567.8) == "1,234,568"
+    assert fmt_cycles(0) == "0"
+
+
+def test_fmt_ratio():
+    assert fmt_ratio(0.8132) == "81%"
+    assert fmt_ratio(1.0) == "100%"
+
+
+def test_table_render_alignment():
+    table = TextTable("T", ["a", "longheader"])
+    table.add_row("x", 1)
+    table.add_row("yyyy", 22)
+    rendered = table.render()
+    lines = rendered.splitlines()
+    assert lines[0] == "== T =="
+    assert all(len(line) == len(lines[1]) for line in lines[1:])
+    assert "longheader" in lines[1]
+
+
+def test_table_rejects_wrong_row_width():
+    table = TextTable("T", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row("only one")
+
+
+def test_series_builds_columns():
+    table = series("S", [1, 2], {"x2": [2.0, 4.0], "x3": [3.0, 6.0]},
+                   x_label="n")
+    assert table.headers == ["n", "x2", "x3"]
+    assert table.rows[0] == ["1", "2", "3"]
+    assert table.data["x2"] == [2.0, 4.0]
+
+
+def test_show_prints(capsys):
+    table = TextTable("T", ["c"])
+    table.add_row("v")
+    table.show()
+    out = capsys.readouterr().out
+    assert "== T ==" in out
+    assert "v" in out

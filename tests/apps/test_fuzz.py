@@ -1,0 +1,77 @@
+"""Fuzz-style property tests for the protocol parsers.
+
+Servers face untrusted network bytes; whatever arrives, they must answer
+with a well-formed error instead of crashing (the interface-hardening the
+paper's Sec 3.4 toolchain discussion is about)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.kvserver import (RespServer, decode_reply, encode_command)
+from repro.apps.webserver import HttpServer, parse_response
+from repro.libos.native import NativeLibos
+from repro.platform import TeePlatform
+
+
+@pytest.fixture(scope="module")
+def http_setup():
+    platform = TeePlatform.native()
+    libos = NativeLibos(platform.kernel, platform.loopback, platform.os_vfs)
+    server = HttpServer(libos, platform.native_context().compute, port=8080)
+    server.load_document("/ok", b"fine")
+    client = platform.loopback.connect(8080)
+    conn = server.accept()
+    return platform, server, client, conn
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(min_size=1, max_size=200))
+def test_http_server_never_crashes(http_setup, payload):
+    platform, server, client, conn = http_setup
+    platform.loopback.send(client, payload, from_client=True)
+    server.handle_request(conn)
+    response = platform.loopback.recv(client, from_client=False)
+    status, _ = parse_response(response)
+    assert status in (200, 400, 404)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(min_size=1, max_size=200))
+def test_resp_server_never_crashes(payload):
+    platform = TeePlatform.native()
+    libos = NativeLibos(platform.kernel, platform.loopback, platform.os_vfs)
+    server = RespServer(libos, platform.native_context(), port=6400)
+    client = platform.loopback.connect(6400)
+    conn = server.accept()
+    platform.loopback.send(client, payload, from_client=True)
+    server.handle_command(conn)
+    reply = platform.loopback.recv(client, from_client=False)
+    # Every reply is valid RESP: either a value or a -ERR.
+    assert reply[:1] in (b"+", b"-", b":", b"$")
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=40), min_size=1,
+                max_size=5))
+def test_resp_command_encoding_parses_back(parts):
+    """encode_command output is always parseable by the server."""
+    encoded = encode_command(*parts)
+    parsed = RespServer._parse_command(encoded)
+    assert parsed == parts
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=60))
+def test_resp_bulk_reply_roundtrip(value):
+    reply = b"$%d\r\n%s\r\n" % (len(value), value)
+    assert decode_reply(reply) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(min_size=0, max_size=120),
+       st.sampled_from([200, 400, 404]))
+def test_http_response_roundtrip(body, status):
+    from repro.apps.webserver import _response
+    status_out, body_out = parse_response(_response(status, body))
+    assert (status_out, body_out) == (status, body)

@@ -1,0 +1,62 @@
+"""Tests for the kernel-build workload."""
+
+import pytest
+
+from repro.apps.kbuild import build, compile_unit, link, make_source_tree
+from repro.osim.vfs import Vfs
+from repro.platform import TeePlatform
+
+from tests.sdk.conftest import SMALL
+
+
+@pytest.fixture
+def native():
+    return TeePlatform.native(SMALL)
+
+
+def test_source_tree_deterministic(native):
+    vfs_a, vfs_b = Vfs(), Vfs()
+    paths_a = make_source_tree(vfs_a, 5, seed=1)
+    paths_b = make_source_tree(vfs_b, 5, seed=1)
+    assert paths_a == paths_b
+    assert all(vfs_a.read_file(p) == vfs_b.read_file(p) for p in paths_a)
+
+
+def test_compile_unit_produces_object(native):
+    vfs = Vfs(native.machine.cycles.charge)
+    (path,) = make_source_tree(vfs, 1)
+    obj = compile_unit(native.machine, native.kernel, vfs, path)
+    assert vfs.exists(obj)
+    assert vfs.stat(obj) > 0
+
+
+def test_compile_unit_releases_processes(native):
+    vfs = Vfs()
+    paths = make_source_tree(vfs, 3)
+    before = len(native.kernel.processes)
+    for path in paths:
+        compile_unit(native.machine, native.kernel, vfs, path)
+    assert len(native.kernel.processes) == before
+
+
+def test_link_produces_image(native):
+    vfs = Vfs()
+    paths = make_source_tree(vfs, 3)
+    objects = [compile_unit(native.machine, native.kernel, vfs, p)
+               for p in paths]
+    total = link(native.machine, vfs, objects)
+    assert total > 0
+    assert vfs.exists("/vmlinuz")
+
+
+def test_full_build_charges_cycles(native):
+    cycles = build(native.machine, native.kernel, n_units=5)
+    assert cycles > 0
+
+
+def test_vm_overhead_below_one_percent():
+    native = TeePlatform.native(SMALL)
+    vm = TeePlatform.hyperenclave(SMALL)
+    native_cycles = build(native.machine, native.kernel, n_units=8)
+    vm_cycles = build(vm.machine, vm.kernel, n_units=8)
+    assert vm_cycles / native_cycles - 1 < 0.01

@@ -1,0 +1,105 @@
+"""Tests for the litedb B-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.litedb import ORDER, LiteDb
+from repro.platform import TeePlatform
+
+
+@pytest.fixture
+def db():
+    ctx = TeePlatform.native().native_context()
+    return LiteDb(ctx, value_size=64)
+
+
+def val(i):
+    return bytes([i % 256]) * 64
+
+
+def test_put_get_roundtrip(db):
+    db.put(b"alpha", val(1))
+    assert db.get(b"alpha") == val(1)
+
+
+def test_get_missing(db):
+    assert db.get(b"nope") is None
+
+
+def test_update_existing(db):
+    db.put(b"k", val(1))
+    assert db.update(b"k", val(2))
+    assert db.get(b"k") == val(2)
+    assert db.count == 1
+
+
+def test_update_missing_returns_false(db):
+    assert not db.update(b"nope", val(1))
+
+
+def test_put_overwrites(db):
+    db.put(b"k", val(1))
+    db.put(b"k", val(9))
+    assert db.get(b"k") == val(9)
+    assert db.count == 1
+
+
+def test_many_inserts_stay_sorted(db):
+    rng = random.Random(5)
+    keys = [b"key%08d" % rng.randrange(10 ** 7) for _ in range(2000)]
+    for i, k in enumerate(keys):
+        db.put(k, val(i))
+    db.check_invariants()
+    assert db.depth() >= 2          # must actually have split
+    for i, k in enumerate(keys):
+        expected = val(len(keys) - 1 - keys[::-1].index(k))
+        assert db.get(k) == expected
+
+
+def test_scan_returns_in_order(db):
+    for i in range(200):
+        db.put(b"key%04d" % i, val(i))
+    results = db.scan(b"key0050", 10)
+    assert results == [val(i) for i in range(50, 60)]
+
+
+def test_wrong_value_size_rejected(db):
+    with pytest.raises(ValueError):
+        db.put(b"k", b"short")
+
+
+def test_memory_grows_with_records(db):
+    before = db.memory_bytes
+    for i in range(100):
+        db.put(b"key%04d" % i, val(i))
+    assert db.memory_bytes > before
+
+
+def test_reads_and_updates_counted(db):
+    db.put(b"k", val(1))
+    db.get(b"k")
+    db.update(b"k", val(2))
+    assert db.reads == 1
+    assert db.updates == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.binary(min_size=1, max_size=12),
+                          st.integers(0, 255)),
+                min_size=1, max_size=300))
+def test_property_matches_dict(items):
+    """litedb agrees with a plain dict under arbitrary workloads."""
+    ctx = TeePlatform.native().native_context()
+    db = LiteDb(ctx, value_size=16)
+    reference: dict[bytes, bytes] = {}
+    for key, marker in items:
+        value = bytes([marker]) * 16
+        db.put(key, value)
+        reference[key] = value
+    db.check_invariants()
+    for key, value in reference.items():
+        assert db.get(key) == value
+    assert db.count == len(reference)

@@ -1,0 +1,119 @@
+"""Tests for lmbench, speccpu, membench, and the request driver."""
+
+import pytest
+
+from repro.apps import membench
+from repro.apps.driver import (aex_roundtrip_cycles, charge_interrupts,
+                               latency_throughput_curve, measure_requests,
+                               mm1_latency)
+from repro.apps.lmbench import ALL_OPS, run_suite
+from repro.apps.speccpu import KERNELS as SPEC_KERNELS
+from repro.hw import costs
+from repro.platform import TeePlatform
+
+
+class TestLmbench:
+    def test_suite_runs_native(self):
+        platform = TeePlatform.native()
+        results = run_suite(platform.machine, platform.kernel)
+        assert set(results) == set(ALL_OPS)
+        assert all(r.cycles > 0 for r in results.values())
+
+    def test_virtualization_overhead_is_small(self):
+        native = TeePlatform.native()
+        vm = TeePlatform.hyperenclave()
+        native_res = run_suite(native.machine, native.kernel)
+        vm_res = run_suite(vm.machine, vm.kernel)
+        for name in ALL_OPS:
+            overhead = vm_res[name].cycles / native_res[name].cycles - 1
+            assert overhead < 0.05, (name, overhead)
+
+    def test_microseconds_conversion(self):
+        platform = TeePlatform.native()
+        result = run_suite(platform.machine, platform.kernel)["null_call"]
+        assert result.microseconds == pytest.approx(
+            result.cycles / 2200, rel=1e-6)
+
+
+class TestSpecCpu:
+    @pytest.mark.parametrize("name", sorted(SPEC_KERNELS))
+    def test_kernel_runs_and_is_deterministic(self, name):
+        ctx = TeePlatform.native().native_context()
+        r1 = SPEC_KERNELS[name](ctx, seed=2)
+        r2 = SPEC_KERNELS[name](ctx, seed=2)
+        assert r1.checksum == r2.checksum
+        assert r1.name == name
+
+
+class TestMembench:
+    def test_latency_grows_with_buffer_size(self):
+        small = membench.measure_latency("none", "random", 16 * 1024)
+        large = membench.measure_latency("none", "random", 64 * 1024 * 1024)
+        assert large.cycles_per_access > 5 * small.cycles_per_access
+
+    def test_sequential_cheaper_than_random(self):
+        size = 64 * 1024 * 1024
+        seq = membench.measure_latency("none", "seq", size)
+        rand = membench.measure_latency("none", "random", size)
+        assert seq.cycles_per_access < rand.cycles_per_access
+
+    def test_encryption_adds_cost_beyond_llc(self):
+        size = 64 * 1024 * 1024
+        plain = membench.measure_latency("none", "seq", size)
+        sme = membench.measure_latency("amd-sme", "seq", size)
+        mee = membench.measure_latency("intel-mee", "seq", size)
+        assert plain.cycles_per_access < sme.cycles_per_access \
+            < mee.cycles_per_access
+
+    def test_epc_cliff(self):
+        size = 256 * 1024 * 1024       # > 93 MB EPC
+        without = membench.measure_latency("intel-mee", "random", size)
+        with_epc = membench.measure_latency("intel-mee", "random", size,
+                                            epc_bytes=costs.SGX_EPC_SIZE)
+        assert with_epc.cycles_per_access > 20 * without.cycles_per_access
+
+    def test_normalized_overhead(self):
+        points = membench.latency_curve("none", "random",
+                                        sizes=[16 * 1024, 64 * 1024 * 1024])
+        ratios = membench.normalized_overhead(points)
+        assert ratios[0] == pytest.approx(1.0)
+        assert ratios[1] > 1.0
+
+
+class TestDriver:
+    def test_aex_roundtrip_ordering(self):
+        assert aex_roundtrip_cycles("sgx") > aex_roundtrip_cycles("gu") \
+            > aex_roundtrip_cycles("hu")
+
+    def test_charge_interrupts_native_vs_enclave(self):
+        platform = TeePlatform.native()
+        machine = platform.machine
+        machine.interrupts.interval_cycles = 1000
+        with machine.cycles.measure() as span:
+            n = charge_interrupts(machine, 5000, None)
+        assert n == 5
+        native_cost = span.elapsed
+        with machine.cycles.measure() as span:
+            charge_interrupts(machine, 5000, "gu")
+        assert span.elapsed > native_cost
+
+    def test_measure_requests(self):
+        platform = TeePlatform.native()
+        serve = lambda: platform.machine.cycles.charge(1000, "work")
+        stats = measure_requests(platform.machine, serve, 10, mode_key=None,
+                                 warmup=2)
+        assert stats.requests == 10
+        assert stats.mean_cycles >= 1000
+
+    def test_mm1(self):
+        assert mm1_latency(100, 0.0) == 100
+        assert mm1_latency(100, 0.5) == 200
+        with pytest.raises(ValueError):
+            mm1_latency(100, 1.0)
+
+    def test_latency_throughput_curve_shape(self):
+        curve = latency_throughput_curve(1000, points=5)
+        throughputs = [t for t, _ in curve]
+        latencies = [l for _, l in curve]
+        assert throughputs == sorted(throughputs)
+        assert latencies == sorted(latencies)

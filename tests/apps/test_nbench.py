@@ -1,0 +1,58 @@
+"""Tests for the NBench kernels: correctness and determinism."""
+
+import pytest
+
+from repro.apps.nbench import KERNELS, run_kernel
+from repro.platform import TeePlatform
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return TeePlatform.native().native_context()
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_runs_and_is_deterministic(ctx, name):
+    r1 = run_kernel(ctx, name, seed=3)
+    r2 = run_kernel(ctx, name, seed=3)
+    assert r1.checksum == r2.checksum
+    assert r1.name == name
+    assert r1.ops > 0
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_charges_cycles(name):
+    platform = TeePlatform.native()
+    ctx = platform.native_context()
+    with platform.cycles.measure() as span:
+        run_kernel(ctx, name)
+    assert span.elapsed > 0
+
+
+def test_seeds_change_results(ctx):
+    a = run_kernel(ctx, "numeric_sort", seed=1)
+    b = run_kernel(ctx, "numeric_sort", seed=2)
+    assert a.checksum != b.checksum
+
+
+def test_kernels_run_inside_enclave():
+    """The same kernel code must run under an EnclaveContext."""
+    from repro.monitor.structs import EnclaveConfig, EnclaveMode
+    from repro.sdk.image import EnclaveImage
+
+    def t_run(ctx, kernel_id):
+        name = sorted(KERNELS)[kernel_id]
+        return run_kernel(ctx, name).checksum
+
+    edl = """enclave { trusted { public uint64 t_run(uint64 kernel_id); };
+             untrusted { }; };"""
+    image = EnclaveImage.build(
+        "nbench", edl, {"t_run": t_run},
+        EnclaveConfig(mode=EnclaveMode.GU, heap_size=16 * 1024 * 1024))
+    platform = TeePlatform.hyperenclave()
+    handle = platform.load_enclave(image)
+    native_ctx = TeePlatform.native().native_context()
+    for kernel_id, name in enumerate(sorted(KERNELS)[:3]):
+        enclave_result = handle.proxies.t_run(kernel_id=kernel_id)
+        native_result = run_kernel(native_ctx, name).checksum
+        assert enclave_result == native_result

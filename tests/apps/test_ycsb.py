@@ -1,0 +1,113 @@
+"""Tests for the YCSB generator."""
+
+import collections
+
+import pytest
+
+from repro.apps.ycsb import (Operation, ZipfianGenerator, load_phase,
+                             record_key, workload_a)
+
+
+class TestZipfian:
+    def test_range(self):
+        z = ZipfianGenerator(100, seed=1)
+        draws = [z.next() for _ in range(2000)]
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_skew(self):
+        """Hot keys dominate: the top decile gets most of the traffic."""
+        z = ZipfianGenerator(1000, seed=1)
+        counts = collections.Counter(z.next() for _ in range(20000))
+        top_decile = sum(counts[i] for i in range(100))
+        assert top_decile > 20000 * 0.5
+
+    def test_deterministic(self):
+        a = ZipfianGenerator(50, seed=9)
+        b = ZipfianGenerator(50, seed=9)
+        assert [a.next() for _ in range(50)] == [b.next() for _ in range(50)]
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.5)
+
+
+class TestWorkloadA:
+    def test_mix_is_half_reads(self):
+        ops = list(workload_a(100, 4000, value_size=16))
+        reads = sum(1 for op in ops if op.kind == "read")
+        assert 0.45 < reads / len(ops) < 0.55
+
+    def test_updates_carry_values(self):
+        ops = list(workload_a(10, 100, value_size=32))
+        for op in ops:
+            if op.kind == "update":
+                assert len(op.value) == 32
+            else:
+                assert op.value is None
+
+    def test_keys_within_universe(self):
+        ops = list(workload_a(10, 500, value_size=16))
+        valid = {record_key(i) for i in range(10)}
+        # Zipfian can emit index == n on the tail; clamp-check coverage.
+        assert sum(op.key in valid for op in ops) > 450
+
+
+class TestLoadPhase:
+    def test_loads_every_record_once(self):
+        ops = list(load_phase(50, value_size=16))
+        assert len(ops) == 50
+        assert {op.key for op in ops} == {record_key(i) for i in range(50)}
+        assert all(op.kind == "insert" for op in ops)
+
+
+def test_record_key_format():
+    assert record_key(7) == b"user000000000007"
+
+
+class TestFullWorkloadSuite:
+    def test_all_letters_produce_ops(self):
+        from repro.apps.ycsb import workload
+        for letter in "ABCDEF":
+            ops = list(workload(letter, 100, 200, value_size=16))
+            assert len(ops) >= 200
+
+    def test_unknown_letter_rejected(self):
+        from repro.apps.ycsb import workload
+        with pytest.raises(ValueError):
+            list(workload("Z", 10, 10))
+
+    def test_workload_c_is_read_only(self):
+        from repro.apps.ycsb import workload
+        ops = list(workload("C", 100, 500, value_size=16))
+        assert all(op.kind == "read" for op in ops)
+
+    def test_workload_e_is_scan_heavy(self):
+        from repro.apps.ycsb import workload
+        ops = list(workload("E", 100, 1000, value_size=16))
+        scans = sum(1 for op in ops if op.kind == "scan")
+        assert scans / len(ops) > 0.9
+
+    def test_workload_f_rmw_pairs(self):
+        from repro.apps.ycsb import workload
+        ops = list(workload("F", 100, 1000, value_size=16))
+        # Every update in F is an RMW: preceded by a read of the same key.
+        for i, op in enumerate(ops):
+            if op.kind == "update":
+                assert ops[i - 1].kind == "read"
+                assert ops[i - 1].key == op.key
+
+    def test_workload_d_inserts_fresh_keys(self):
+        from repro.apps.ycsb import record_key, workload
+        ops = list(workload("D", 100, 2000, value_size=16))
+        inserted = [op.key for op in ops if op.kind == "insert"]
+        assert inserted
+        assert inserted[0] == record_key(100)      # beyond the loaded set
+        assert inserted == sorted(set(inserted))   # fresh and unique
+
+    def test_deterministic_per_seed(self):
+        from repro.apps.ycsb import workload
+        a = list(workload("A", 50, 100, value_size=16, seed=3))
+        b = list(workload("A", 50, 100, value_size=16, seed=3))
+        assert [(o.kind, o.key) for o in a] == [(o.kind, o.key) for o in b]

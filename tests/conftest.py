@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.machine import Machine, MachineConfig
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A default machine (AMD-SME encryption, deterministic TPM)."""
+    return Machine()
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """A machine with a small reserved region (fast pool operations)."""
+    config = MachineConfig(
+        phys_size=256 * 1024 * 1024,
+        reserved_base=64 * 1024 * 1024,
+        reserved_size=64 * 1024 * 1024,
+    )
+    return Machine(config)

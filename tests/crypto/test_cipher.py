@@ -1,0 +1,85 @@
+"""Tests for the AEAD cipher and the DRBG."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.cipher import Drbg, aead_decrypt, aead_encrypt
+from repro.errors import SealError
+
+KEY = b"k" * 32
+NONCE = b"n" * 16
+
+
+def test_roundtrip():
+    blob = aead_encrypt(KEY, NONCE, b"secret data", aad=b"context")
+    assert aead_decrypt(KEY, blob, aad=b"context") == b"secret data"
+
+
+def test_empty_plaintext_roundtrip():
+    blob = aead_encrypt(KEY, NONCE, b"")
+    assert aead_decrypt(KEY, blob) == b""
+
+
+def test_wrong_key_fails():
+    blob = aead_encrypt(KEY, NONCE, b"data")
+    with pytest.raises(SealError):
+        aead_decrypt(b"x" * 32, blob)
+
+
+def test_wrong_aad_fails():
+    blob = aead_encrypt(KEY, NONCE, b"data", aad=b"a")
+    with pytest.raises(SealError):
+        aead_decrypt(KEY, blob, aad=b"b")
+
+
+def test_tampered_ciphertext_fails():
+    blob = bytearray(aead_encrypt(KEY, NONCE, b"data"))
+    blob[len(blob) // 2] ^= 1
+    with pytest.raises(SealError):
+        aead_decrypt(KEY, bytes(blob))
+
+
+def test_truncated_blob_fails():
+    with pytest.raises(SealError):
+        aead_decrypt(KEY, b"short")
+
+
+def test_bad_nonce_length_rejected():
+    with pytest.raises(ValueError):
+        aead_encrypt(KEY, b"short", b"data")
+
+
+def test_ciphertext_differs_from_plaintext():
+    blob = aead_encrypt(KEY, NONCE, b"A" * 100)
+    assert b"A" * 100 not in blob
+
+
+@given(st.binary(max_size=500), st.binary(max_size=32))
+def test_roundtrip_property(plaintext, aad):
+    blob = aead_encrypt(KEY, NONCE, plaintext, aad=aad)
+    assert aead_decrypt(KEY, blob, aad=aad) == plaintext
+
+
+def test_drbg_deterministic_from_seed():
+    assert Drbg(b"seed").read(64) == Drbg(b"seed").read(64)
+
+
+def test_drbg_differs_by_seed():
+    assert Drbg(b"a").read(32) != Drbg(b"b").read(32)
+
+
+def test_drbg_stream_advances():
+    drbg = Drbg(b"seed")
+    assert drbg.read(32) != drbg.read(32)
+
+
+def test_drbg_randint_bits_msb_set():
+    drbg = Drbg(b"seed")
+    for bits in (8, 64, 512):
+        value = drbg.randint_bits(bits)
+        assert value.bit_length() == bits
+
+
+def test_drbg_unseeded_unique():
+    assert Drbg().read(32) != Drbg().read(32)

@@ -1,0 +1,55 @@
+"""Tests for SHA-256 / HMAC / HKDF helpers."""
+
+import hashlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashes import hkdf, hmac_sha256, sha256
+
+
+def test_sha256_matches_hashlib():
+    assert sha256(b"abc") == hashlib.sha256(b"abc").digest()
+
+
+def test_sha256_concatenates_chunks():
+    assert sha256(b"ab", b"c") == sha256(b"abc")
+
+
+def test_hmac_differs_by_key():
+    assert hmac_sha256(b"k1", b"msg") != hmac_sha256(b"k2", b"msg")
+
+
+def test_hmac_chunking_equivalence():
+    assert hmac_sha256(b"k", b"he", b"llo") == hmac_sha256(b"k", b"hello")
+
+
+def test_hkdf_known_length():
+    out = hkdf(b"ikm", salt=b"salt", info=b"info", length=42)
+    assert len(out) == 42
+
+
+def test_hkdf_deterministic():
+    assert hkdf(b"x", info=b"a") == hkdf(b"x", info=b"a")
+
+
+def test_hkdf_info_separates_domains():
+    assert hkdf(b"x", info=b"a") != hkdf(b"x", info=b"b")
+
+
+@pytest.mark.parametrize("length", [0, -1, 256 * 32 + 1])
+def test_hkdf_rejects_bad_lengths(length):
+    with pytest.raises(ValueError):
+        hkdf(b"ikm", length=length)
+
+
+@given(st.binary(max_size=200), st.integers(min_value=1, max_value=128))
+def test_hkdf_length_property(ikm, length):
+    assert len(hkdf(ikm, length=length)) == length
+
+
+@given(st.binary(max_size=64), st.binary(max_size=64))
+def test_sha256_collision_free_on_distinct_inputs(a, b):
+    if a != b:
+        assert sha256(a) != sha256(b)

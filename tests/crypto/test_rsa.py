@@ -1,0 +1,73 @@
+"""Tests for the pure-Python RSA implementation."""
+
+import pytest
+
+from repro.crypto.rsa import RsaPublicKey, generate_keypair
+from repro.errors import AttestationError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(768, seed=b"rsa-test")
+
+
+def test_sign_verify_roundtrip(keypair):
+    sig = keypair.sign(b"message")
+    assert keypair.public.verify(b"message", sig)
+
+
+def test_verify_rejects_wrong_message(keypair):
+    sig = keypair.sign(b"message")
+    assert not keypair.public.verify(b"other", sig)
+
+
+def test_verify_rejects_tampered_signature(keypair):
+    sig = bytearray(keypair.sign(b"message"))
+    sig[0] ^= 1
+    assert not keypair.public.verify(b"message", bytes(sig))
+
+
+def test_verify_rejects_wrong_length(keypair):
+    assert not keypair.public.verify(b"message", b"\x00" * 10)
+
+
+def test_verify_rejects_signature_from_other_key(keypair):
+    other = generate_keypair(768, seed=b"other-key")
+    sig = other.sign(b"message")
+    assert not keypair.public.verify(b"message", sig)
+
+
+def test_deterministic_keygen():
+    a = generate_keypair(768, seed=b"same")
+    b = generate_keypair(768, seed=b"same")
+    assert a.public == b.public
+
+
+def test_distinct_seeds_distinct_keys():
+    a = generate_keypair(768, seed=b"one")
+    b = generate_keypair(768, seed=b"two")
+    assert a.public != b.public
+
+
+def test_public_key_serialization_roundtrip(keypair):
+    data = keypair.public.to_bytes()
+    assert RsaPublicKey.from_bytes(data) == keypair.public
+
+
+def test_public_key_rejects_garbage():
+    with pytest.raises(AttestationError):
+        RsaPublicKey.from_bytes(b"nope")
+
+
+def test_fingerprint_is_stable(keypair):
+    assert keypair.public.fingerprint() == keypair.public.fingerprint()
+    assert len(keypair.public.fingerprint()) == 32
+
+
+def test_keygen_rejects_tiny_keys():
+    with pytest.raises(ValueError):
+        generate_keypair(128, seed=b"tiny")
+
+
+def test_modulus_has_requested_bits(keypair):
+    assert keypair.public.n.bit_length() == 768

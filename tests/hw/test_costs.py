@@ -1,0 +1,58 @@
+"""The calibration file must reproduce the paper's published numbers."""
+
+from repro.hw import costs
+
+
+def test_validate_passes():
+    costs.validate()
+
+
+def test_hypercall_and_syscall_constants():
+    """Sec 4.2: hypercalls ~880 cycles, syscalls ~120 cycles."""
+    assert costs.HYPERCALL_ROUNDTRIP == 880
+    assert costs.SYSCALL_ROUNDTRIP == 120
+
+
+def test_table1_eenter_eexit_targets():
+    assert costs.GU_SWITCH.eenter_total == 1704
+    assert costs.GU_SWITCH.eexit_total == 1319
+    assert costs.HU_SWITCH.eenter_total == 1163
+    assert costs.HU_SWITCH.eexit_total == 1144
+    assert costs.P_SWITCH.eenter_total == 1649
+    assert costs.P_SWITCH.eexit_total == 1401
+
+
+def test_table1_edge_call_targets():
+    assert costs.ecall_expected("hu") == 8440
+    assert costs.ecall_expected("gu") == 9480
+    assert costs.ecall_expected("p") == 9700
+    assert costs.ecall_expected("sgx") == 14432
+    assert costs.ocall_expected("hu") == 4120
+    assert costs.ocall_expected("gu") == 4920
+    assert costs.ocall_expected("p") == 5260
+    assert costs.ocall_expected("sgx") == 12432
+
+
+def test_table2_exception_targets():
+    assert costs.ud_exception_expected("p") == 258
+    assert costs.ud_exception_expected("gu") == 17490
+    assert costs.ud_exception_expected("sgx") == 28561
+    assert costs.pf_gc_expected("gu") == 2660
+    assert costs.pf_gc_expected("p") == 1132
+
+
+def test_mode_ordering_claims():
+    """HU has optimal edge calls; P is slower than GU (Sec 7.1)."""
+    assert costs.ecall_expected("hu") < costs.ecall_expected("gu") \
+        < costs.ecall_expected("p") < costs.ecall_expected("sgx")
+    # P-Enclave exception handling is ~68x faster than GU, ~110x than SGX.
+    assert 60 < costs.ud_exception_expected("gu") / costs.ud_exception_expected("p") < 75
+    assert 100 < costs.ud_exception_expected("sgx") / costs.ud_exception_expected("p") < 120
+    # GC page faults: P ~2.3x faster than GU.
+    ratio = costs.pf_gc_expected("gu") / costs.pf_gc_expected("p")
+    assert 2.2 < ratio < 2.5
+
+
+def test_epc_sizes():
+    assert costs.SGX_EPC_SIZE == 93 * 1024 * 1024
+    assert costs.HYPERENCLAVE_EPC_SIZE == 24 * 1024 * 1024 * 1024

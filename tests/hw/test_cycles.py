@@ -1,0 +1,54 @@
+"""Tests for cycle accounting."""
+
+import pytest
+
+from repro.hw.cycles import CycleCounter
+
+
+def test_charge_accumulates():
+    c = CycleCounter()
+    c.charge(100, "a")
+    c.charge(50, "b")
+    assert c.total == 150
+    assert c.by_category["a"] == 100
+    assert c.by_category["b"] == 50
+
+
+def test_negative_charge_rejected():
+    c = CycleCounter()
+    with pytest.raises(ValueError):
+        c.charge(-1)
+
+
+def test_measure_span():
+    c = CycleCounter()
+    c.charge(10)
+    with c.measure() as span:
+        c.charge(42, "inner")
+    assert span.elapsed == 42
+    assert span.categories == {"inner": 42}
+
+
+def test_measure_span_nested():
+    c = CycleCounter()
+    with c.measure() as outer:
+        c.charge(5, "x")
+        with c.measure() as inner:
+            c.charge(7, "y")
+    assert inner.elapsed == 7
+    assert outer.elapsed == 12
+
+
+def test_breakdown_is_copy():
+    c = CycleCounter()
+    c.charge(1, "a")
+    snapshot = c.breakdown()
+    c.charge(1, "a")
+    assert snapshot["a"] == 1
+
+
+def test_span_stop_without_start_raises():
+    from repro.hw.cycles import CycleSpan
+    span = CycleSpan(CycleCounter())
+    with pytest.raises(RuntimeError):
+        span.stop()

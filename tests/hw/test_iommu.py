@@ -1,0 +1,81 @@
+"""Tests for IOMMU DMA protection (security requirement R-3)."""
+
+import pytest
+
+from repro.errors import SecurityViolation
+from repro.hw.iommu import Iommu
+from repro.hw.phys import MONITOR, NORMAL, PAGE_SIZE, PhysicalMemory, \
+    enclave_owner
+
+
+@pytest.fixture
+def setup():
+    phys = PhysicalMemory(64 * PAGE_SIZE)
+    phys.set_owner(0 * PAGE_SIZE, NORMAL, npages=16)
+    phys.set_owner(16 * PAGE_SIZE, MONITOR, npages=16)
+    phys.set_owner(32 * PAGE_SIZE, enclave_owner(1), npages=16)
+    iommu = Iommu(phys)
+    return phys, iommu
+
+
+def test_disabled_iommu_allows_everything(setup):
+    phys, iommu = setup
+    iommu.dma_write("nic", 16 * PAGE_SIZE, b"attack")   # monitor memory!
+    assert phys.read(16 * PAGE_SIZE, 6) == b"attack"
+
+
+def test_enabled_iommu_blocks_monitor_memory(setup):
+    phys, iommu = setup
+    iommu.enable()
+    iommu.allow("nic", 0, 16 * PAGE_SIZE)
+    with pytest.raises(SecurityViolation):
+        iommu.dma_write("nic", 16 * PAGE_SIZE, b"attack")
+
+
+def test_enabled_iommu_blocks_enclave_memory(setup):
+    phys, iommu = setup
+    iommu.enable()
+    iommu.allow("nic", 0, 16 * PAGE_SIZE)
+    with pytest.raises(SecurityViolation):
+        iommu.dma_read("nic", 32 * PAGE_SIZE, 8)
+
+
+def test_windows_into_protected_memory_not_grantable(setup):
+    phys, iommu = setup
+    iommu.enable()
+    # Even an explicit window cannot whitelist enclave frames.
+    iommu.allow("nic", 32 * PAGE_SIZE, PAGE_SIZE)
+    with pytest.raises(SecurityViolation):
+        iommu.dma_read("nic", 32 * PAGE_SIZE, 8)
+
+
+def test_allowed_normal_window_works(setup):
+    phys, iommu = setup
+    iommu.enable()
+    iommu.allow("nic", 0, 16 * PAGE_SIZE)
+    iommu.dma_write("nic", 0x100, b"packet")
+    assert iommu.dma_read("nic", 0x100, 6) == b"packet"
+
+
+def test_unknown_device_blocked(setup):
+    phys, iommu = setup
+    iommu.enable()
+    with pytest.raises(SecurityViolation):
+        iommu.dma_read("rogue", 0x100, 4)
+
+
+def test_outside_window_blocked(setup):
+    phys, iommu = setup
+    iommu.enable()
+    iommu.allow("nic", 0, PAGE_SIZE)
+    with pytest.raises(SecurityViolation):
+        iommu.dma_read("nic", 2 * PAGE_SIZE, 4)
+
+
+def test_revoke_all(setup):
+    phys, iommu = setup
+    iommu.enable()
+    iommu.allow("nic", 0, PAGE_SIZE)
+    iommu.revoke_all("nic")
+    with pytest.raises(SecurityViolation):
+        iommu.dma_read("nic", 0x100, 4)

@@ -1,0 +1,58 @@
+"""Tests for the memory-encryption engines."""
+
+from repro.hw import costs
+from repro.hw.memenc import AmdSme, IntelMee, NoEncryption
+
+
+def test_no_encryption_is_free():
+    assert NoEncryption().miss_cycles(123) == 0
+
+
+def test_sme_flat_cost():
+    sme = AmdSme()
+    assert sme.miss_cycles(0) == costs.SME_MISS_EXTRA_CYCLES
+    assert sme.miss_cycles(10**9) == costs.SME_MISS_EXTRA_CYCLES
+
+
+def test_mee_cold_costs_more_than_warm():
+    mee = IntelMee()
+    cold = mee.miss_cycles(0)
+    warm = mee.miss_cycles(1)   # same counter-tree node as line 0
+    assert cold > warm
+    assert warm >= costs.MEE_MISS_EXTRA_CYCLES
+
+
+def test_mee_metadata_locality():
+    """Lines within one counter-node share metadata; far lines don't."""
+    mee = IntelMee()
+    mee.miss_cycles(0)
+    hits_before = mee.metadata_hits
+    mee.miss_cycles(1)            # same 64-line group
+    assert mee.metadata_hits == hits_before + 1
+    misses_before = mee.metadata_misses
+    mee.miss_cycles(1 << 20)      # far away: new node
+    assert mee.metadata_misses > misses_before
+
+
+def test_mee_random_pattern_beats_cache():
+    """Uniform random lines over a huge footprint keep missing metadata."""
+    mee = IntelMee(cache_lines=64)
+    stride = 1 << costs.MEE_TREE_ARITY_SHIFT
+    for i in range(1000):
+        mee.miss_cycles(i * stride * 7919)  # distinct counter nodes
+    assert mee.metadata_misses > mee.metadata_hits
+
+
+def test_mee_reset_clears_metadata():
+    mee = IntelMee()
+    mee.miss_cycles(0)
+    mee.reset()
+    misses = mee.metadata_misses
+    mee.miss_cycles(0)
+    # A post-reset access is cold again: every tree level misses.
+    assert mee.metadata_misses == misses + mee.levels
+
+
+def test_mee_costs_exceed_sme_when_cold():
+    """MEE pays integrity metadata that SME doesn't (paper Sec 7)."""
+    assert IntelMee().miss_cycles(0) > AmdSme().miss_cycles(0)

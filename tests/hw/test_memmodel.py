@@ -1,0 +1,139 @@
+"""Tests for the workload-facing memory subsystem and the EPC model."""
+
+import pytest
+
+from repro.hw import costs
+from repro.hw.cycles import CycleCounter
+from repro.hw.memenc import AmdSme, NoEncryption
+from repro.hw.memmodel import EpcModel, MemorySubsystem
+from repro.hw.phys import PAGE_SIZE
+
+
+@pytest.fixture
+def mem():
+    return MemorySubsystem(CycleCounter(), NoEncryption())
+
+
+def test_touch_charges_cycles(mem):
+    charged = mem.touch(0x1000, 8)
+    assert charged > 0
+    assert mem.cycles.total == charged
+
+
+def test_second_touch_is_cheaper(mem):
+    cold = mem.touch(0x1000, 8)
+    warm = mem.touch(0x1000, 8)
+    assert warm < cold
+    assert warm == costs.LLC_HIT_CYCLES
+
+
+def test_touch_spanning_lines_charges_per_line(mem):
+    # Warm both lines around the 0x2000 boundary (and their TLB pages).
+    mem.touch(0x1FC0, 8)
+    mem.touch(0x2000, 8)
+    one_line = mem.touch(0x2000, 8)
+    two_lines = mem.touch(0x1FFC, 8)  # straddles a line boundary
+    assert two_lines == 2 * one_line
+
+
+def test_tlb_miss_adds_walk_cost(mem):
+    cold = mem.touch(0x100000, 8)
+    mem.llc.flush_all()
+    warm_tlb_cold_cache = mem.touch(0x100000, 8)
+    assert cold - warm_tlb_cold_cache == costs.PAGE_WALK_GUEST_CYCLES
+
+
+def test_nested_paging_walk_costs_more():
+    flat = MemorySubsystem(CycleCounter(), NoEncryption())
+    nested = MemorySubsystem(CycleCounter(), NoEncryption(),
+                             nested_paging=True)
+    assert nested.touch(0x1000, 8) - flat.touch(0x1000, 8) == (
+        costs.PAGE_WALK_NESTED_CYCLES - costs.PAGE_WALK_GUEST_CYCLES)
+
+
+def test_encryption_engine_adds_miss_cost():
+    plain = MemorySubsystem(CycleCounter(), NoEncryption())
+    enc = MemorySubsystem(CycleCounter(), AmdSme())
+    assert (enc.touch(0x1000, 8) - plain.touch(0x1000, 8)
+            == costs.SME_MISS_EXTRA_CYCLES)
+
+
+def test_sequential_sweep_cheaper_than_random(mem):
+    size = 1 << 16
+    seq = mem.touch_sequential(0, size)
+    mem.reset_state()
+    rand = sum(mem.touch(offset, 8)
+               for offset in range(0, size, costs.CACHE_LINE))
+    assert seq < rand
+
+
+def test_compute_charges_op_cycles(mem):
+    mem.compute(1000)
+    assert mem.cycles.by_category["compute"] == 1000 * costs.OP_CYCLES
+
+
+def test_memcpy_scales_with_size(mem):
+    small = mem.memcpy(64)
+    large = mem.memcpy(64 * 100)
+    assert large > small
+    assert large - small == pytest.approx(99 * costs.MEMCPY_CYCLES_PER_LINE)
+
+
+def test_clflush_forces_misses(mem):
+    mem.touch(0x1000, 8)
+    assert mem.touch(0x1000, 8) == costs.LLC_HIT_CYCLES
+    mem.clflush(0x1000, 8)
+    assert mem.touch(0x1000, 8) > costs.LLC_HIT_CYCLES
+
+
+def test_touch_zero_size_free(mem):
+    assert mem.touch(0x1000, 0) == 0
+
+
+class TestEpcModel:
+    def test_resident_page_is_free(self):
+        epc = EpcModel(10 * PAGE_SIZE)
+        assert epc.access(1) > 0     # first touch faults
+        assert epc.access(1) == 0    # now resident
+
+    def test_eviction_beyond_capacity(self):
+        epc = EpcModel(2 * PAGE_SIZE)
+        epc.access(1)
+        epc.access(2)
+        epc.access(3)                # evicts 1
+        assert epc.access(2) == 0
+        assert epc.access(1) > 0
+
+    def test_thrashing_switches_to_batched_evictions(self):
+        epc = EpcModel(2 * PAGE_SIZE)
+        # Cycle through many pages: fault rate ~1 → batched path applies.
+        for i in range(100):
+            cost = epc.access(i)
+        assert cost == costs.SGX_EPC_FAULT_BATCHED_CYCLES
+
+    def test_fault_counter_counts_evictions_only(self):
+        epc = EpcModel(2 * PAGE_SIZE)
+        epc.access(1)
+        epc.access(2)
+        assert epc.faults == 0       # populated within capacity
+        epc.access(3)
+        epc.access(4)
+        assert epc.faults == 2       # evictions beyond capacity
+
+    def test_first_touch_is_cheap_populate(self):
+        epc = EpcModel(10 * PAGE_SIZE)
+        assert epc.access(1) == costs.SGX_EPC_POPULATE_CYCLES
+        assert epc.faults == 0      # populating is not a swap fault
+
+    def test_memory_subsystem_integration(self):
+        mem = MemorySubsystem(CycleCounter(), NoEncryption(),
+                              epc=EpcModel(4 * PAGE_SIZE))
+        cost_populate = mem.touch(0, 8)
+        cost_resident = mem.touch(8, 8)
+        assert cost_populate - cost_resident \
+            >= costs.SGX_EPC_POPULATE_CYCLES
+        # Exceed capacity: evictions now cost real swap faults.
+        for page in range(1, 6):
+            mem.touch(page * PAGE_SIZE, 8)
+        cost_fault = mem.touch(0, 8)
+        assert cost_fault >= costs.SGX_EPC_FAULT_CYCLES

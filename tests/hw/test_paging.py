@@ -1,0 +1,202 @@
+"""Tests for 4-level page tables and the nested (2-D) walker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NestedPageFault, PageFault
+from repro.hw.paging import (LEVELS, NestedTranslator, PageTable,
+                             PageTableFlags)
+from repro.hw.phys import NORMAL, PAGE_SIZE, FramePool, PhysicalMemory
+
+F = PageTableFlags
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory(4096 * PAGE_SIZE)
+
+
+@pytest.fixture
+def pool(phys):
+    return FramePool(phys, 0, 2048 * PAGE_SIZE, NORMAL)
+
+
+@pytest.fixture
+def pt(phys, pool):
+    return PageTable(phys, pool.alloc, pool.free)
+
+
+def test_map_translate_roundtrip(pt):
+    pt.map(0x40000000, 0x123000, F.URW)
+    t = pt.translate(0x40000000 + 0x42)
+    assert t.pa == 0x123042
+
+
+def test_translate_unmapped_faults(pt):
+    with pytest.raises(PageFault) as exc:
+        pt.translate(0x1000)
+    assert not exc.value.present
+
+
+def test_write_to_readonly_faults(pt):
+    pt.map(0x1000, 0x2000, F.UR)
+    with pytest.raises(PageFault) as exc:
+        pt.translate(0x1000, write=True)
+    assert exc.value.present
+    assert exc.value.write
+
+
+def test_user_access_to_supervisor_page_faults(pt):
+    pt.map(0x1000, 0x2000, F.RW)  # no USER bit
+    with pytest.raises(PageFault):
+        pt.translate(0x1000, user=True)
+    # Supervisor access is fine.
+    assert pt.translate(0x1000, user=False).pa == 0x2000
+
+
+def test_nx_blocks_fetch(pt):
+    pt.map(0x1000, 0x2000, F.UR)
+    with pytest.raises(PageFault) as exc:
+        pt.translate(0x1000, fetch=True)
+    assert exc.value.fetch
+
+
+def test_executable_page_fetches(pt):
+    pt.map(0x1000, 0x2000, F.URX)
+    assert pt.translate(0x1000, fetch=True).pa == 0x2000
+
+
+def test_accessed_and_dirty_bits(pt):
+    pt.map(0x1000, 0x2000, F.URW)
+    pt.translate(0x1000)
+    (_, _, flags), = [m for m in pt.mappings()]
+    assert flags & F.ACCESSED
+    assert not flags & F.DIRTY
+    pt.translate(0x1000, write=True)
+    (_, _, flags), = [m for m in pt.mappings()]
+    assert flags & F.DIRTY
+
+
+def test_unmap(pt):
+    pt.map(0x1000, 0x2000, F.URW)
+    old = pt.unmap(0x1000)
+    assert old == 0x2000
+    with pytest.raises(PageFault):
+        pt.translate(0x1000)
+
+
+def test_unmap_missing_faults(pt):
+    with pytest.raises(PageFault):
+        pt.unmap(0x9000)
+
+
+def test_protect_changes_permissions(pt):
+    pt.map(0x1000, 0x2000, F.URW)
+    pt.protect(0x1000, F.UR)
+    with pytest.raises(PageFault):
+        pt.translate(0x1000, write=True)
+    assert pt.translate(0x1000).pa == 0x2000
+
+
+def test_protect_missing_faults(pt):
+    with pytest.raises(PageFault):
+        pt.protect(0x8000, F.UR)
+
+
+def test_unaligned_map_rejected(pt):
+    with pytest.raises(ValueError):
+        pt.map(0x1001, 0x2000, F.URW)
+
+
+def test_non_canonical_va_faults(pt):
+    with pytest.raises(PageFault):
+        pt.translate(1 << 48)
+
+
+def test_walk_reference_count(pt):
+    pt.map(0x1000, 0x2000, F.URW)
+    assert pt.translate(0x1000).refs == LEVELS
+
+
+def test_mappings_enumeration(pt):
+    pt.map(0x1000, 0x2000, F.URW)
+    pt.map(0x8000000000, 0x3000, F.UR)
+    mapped = {va: pa for va, pa, _ in pt.mappings()}
+    assert mapped == {0x1000: 0x2000, 0x8000000000: 0x3000}
+
+
+def test_destroy_returns_frames(phys, pool):
+    before = pool.free_pages
+    pt = PageTable(phys, pool.alloc, pool.free)
+    pt.map(0x1000, 0x2000, F.URW)
+    pt.destroy()
+    assert pool.free_pages == before
+
+
+def test_is_mapped(pt):
+    assert not pt.is_mapped(0x1000)
+    pt.map(0x1000, 0x2000, F.URW)
+    assert pt.is_mapped(0x1000)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(
+    st.integers(min_value=0, max_value=(1 << 36) - 1),
+    st.integers(min_value=0, max_value=1000),
+), min_size=1, max_size=20, unique_by=lambda t: t[0]))
+def test_property_mappings_independent(entries):
+    """Mapping many pages never cross-contaminates translations."""
+    phys = PhysicalMemory(8192 * PAGE_SIZE)
+    pool = FramePool(phys, 0, 4096 * PAGE_SIZE, NORMAL)
+    pt = PageTable(phys, pool.alloc, pool.free)
+    table = {}
+    for vpn, pfn in entries:
+        va = vpn * PAGE_SIZE
+        pa = (4096 + pfn) * PAGE_SIZE
+        pt.map(va, pa, F.URW)
+        table[va] = pa
+    for va, pa in table.items():
+        assert pt.translate(va).pa == pa
+
+
+class TestNestedTranslator:
+    @pytest.fixture
+    def nested(self, phys, pool):
+        # NPT: identity-map guest-physical 0..64 MB (as the monitor would).
+        npt = PageTable(phys, pool.alloc, pool.free)
+        for page in range(0, 2048):
+            npt.map(page * PAGE_SIZE, page * PAGE_SIZE, F.URW)
+        gpt = PageTable(phys, pool.alloc, pool.free)
+        return NestedTranslator(gpt, npt), gpt, npt
+
+    def test_two_dimensional_translation(self, nested):
+        tr, gpt, npt = nested
+        gpt.map(0x7000, 0x9000, F.URW)
+        result = tr.translate(0x7123)
+        assert result.pa == 0x9123
+
+    def test_nested_walk_makes_many_refs(self, nested):
+        tr, gpt, npt = nested
+        gpt.map(0x7000, 0x9000, F.URW)
+        # 4 GPT levels, each needing an NPT walk (4 refs) + the leaf NPT
+        # walk: (4+1)*4 + 4 = 24 references.
+        assert tr.translate(0x7000).refs == 24
+
+    def test_guest_fault_propagates(self, nested):
+        tr, gpt, npt = nested
+        with pytest.raises(PageFault):
+            tr.translate(0x7000)
+
+    def test_npt_hole_raises_nested_fault(self, nested):
+        tr, gpt, npt = nested
+        gpt.map(0x7000, 0x9000, F.URW)
+        npt.unmap(0x9000)
+        with pytest.raises(NestedPageFault):
+            tr.translate(0x7000)
+
+    def test_guest_permissions_enforced(self, nested):
+        tr, gpt, npt = nested
+        gpt.map(0x7000, 0x9000, F.UR)
+        with pytest.raises(PageFault):
+            tr.translate(0x7000, write=True)

@@ -1,0 +1,37 @@
+"""Property test: physical memory behaves like one flat bytearray."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.phys import PAGE_SIZE, PhysicalMemory
+
+SIZE = 16 * PAGE_SIZE
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, SIZE - 1),
+                          st.binary(min_size=1, max_size=3 * PAGE_SIZE)),
+                max_size=20))
+def test_matches_flat_bytearray(writes):
+    phys = PhysicalMemory(SIZE)
+    reference = bytearray(SIZE)
+    for addr, data in writes:
+        data = data[: SIZE - addr]
+        if not data:
+            continue
+        phys.write(addr, data)
+        reference[addr:addr + len(data)] = data
+    # Full-range readback, plus a few straddling windows.
+    assert phys.read(0, SIZE) == bytes(reference)
+    for addr, data in writes[:5]:
+        window = min(len(data) + 100, SIZE - addr)
+        assert phys.read(addr, window) == bytes(
+            reference[addr:addr + window])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, SIZE - 8), st.integers(0, 2 ** 64 - 1))
+def test_u64_roundtrip_anywhere(addr, value):
+    phys = PhysicalMemory(SIZE)
+    phys.write_u64(addr, value)
+    assert phys.read_u64(addr) == value

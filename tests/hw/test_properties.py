@@ -1,0 +1,107 @@
+"""Property-based tests for the core hardware structures."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.cache import Llc
+from repro.hw.tlb import Tlb
+
+
+class TestLlcAgainstReferenceModel:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 50), st.booleans()),
+                    max_size=200),
+           st.integers(min_value=1, max_value=16))
+    def test_matches_naive_lru(self, accesses, capacity_lines):
+        """The LLC must behave exactly like a textbook LRU."""
+        llc = Llc(capacity_lines * 64)
+        reference: OrderedDict[int, bool] = OrderedDict()
+        for line, write in accesses:
+            expect_hit = line in reference
+            if expect_hit:
+                reference.move_to_end(line)
+                if write:
+                    reference[line] = True
+            else:
+                reference[line] = write
+                if len(reference) > capacity_lines:
+                    reference.popitem(last=False)
+            hit, _ = llc.access_ex(line, write=write)
+            assert hit == expect_hit
+        assert set(reference) == {
+            line for line in range(51) if llc.contains(line)}
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=300),
+           st.integers(min_value=1, max_value=64))
+    def test_occupancy_never_exceeds_capacity(self, lines, capacity):
+        llc = Llc(capacity * 64)
+        for line in lines:
+            llc.access(line)
+        assert len(llc) <= capacity
+        assert llc.hits + llc.misses == len(lines)
+
+
+class TestTlbProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(1, 3), st.integers(0, 30)),
+                    max_size=150),
+           st.integers(min_value=1, max_value=8))
+    def test_lookup_only_returns_inserted_mappings(self, ops, capacity):
+        """Whatever the access pattern, a hit must return exactly what was
+        last inserted for that (asid, page)."""
+        tlb = Tlb(capacity)
+        truth: dict[tuple[int, int], int] = {}
+        for asid, vpn in ops:
+            va = vpn * 4096
+            hit = tlb.lookup(asid, va)
+            if hit is not None:
+                assert hit[0] == truth[(asid, vpn)]
+            pa = (asid << 40) | (vpn << 12)
+            tlb.insert(asid, va, pa, 0)
+            truth[(asid, vpn)] = pa
+        assert len(tlb) <= capacity
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(1, 4), st.integers(0, 20)),
+                    min_size=1, max_size=60))
+    def test_flush_asid_is_complete_and_minimal(self, entries):
+        tlb = Tlb(1024)
+        for asid, vpn in entries:
+            tlb.insert(asid, vpn * 4096, vpn * 4096, 0)
+        tlb.flush_asid(2)
+        for asid, vpn in entries:
+            hit = tlb.lookup(asid, vpn * 4096)
+            if asid == 2:
+                assert hit is None
+            else:
+                assert hit is not None
+
+
+class TestMeasurementProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 63),
+                              st.binary(max_size=64)),
+                    min_size=1, max_size=10,
+                    unique_by=lambda t: t[0]))
+    def test_any_page_change_changes_mrenclave(self, pages):
+        """Flipping one byte of any measured page changes MRENCLAVE."""
+        from repro.monitor.measurement import MeasurementLog
+        from repro.monitor.structs import PagePerm, PageType
+
+        def measure(page_list):
+            log = MeasurementLog()
+            log.ecreate(0, 64 * 4096, "gu")
+            for offset, content in page_list:
+                log.eadd(offset * 4096, PageType.REG, PagePerm.RW, content)
+            return log.finalize()
+
+        baseline = measure(pages)
+        for i in range(len(pages)):
+            offset, content = pages[i]
+            mutated = pages.copy()
+            mutated[i] = (offset, content + b"\x01")
+            assert measure(mutated) != baseline

@@ -1,0 +1,68 @@
+"""Tests for the TLB."""
+
+import pytest
+
+from repro.hw.paging import PageTableFlags as F
+from repro.hw.tlb import Tlb
+
+
+def test_miss_then_hit():
+    tlb = Tlb(4)
+    assert tlb.lookup(1, 0x1000) is None
+    tlb.insert(1, 0x1000, 0x9000, F.URW)
+    assert tlb.lookup(1, 0x1000) == (0x9000, F.URW)
+    assert tlb.hits == 1
+    assert tlb.misses == 1
+
+
+def test_asid_separation():
+    tlb = Tlb(4)
+    tlb.insert(1, 0x1000, 0x9000, F.URW)
+    assert tlb.lookup(2, 0x1000) is None
+
+
+def test_same_page_different_offsets_hit():
+    tlb = Tlb(4)
+    tlb.insert(1, 0x1000, 0x9000, F.URW)
+    assert tlb.lookup(1, 0x1FFF) == (0x9000, F.URW)
+
+
+def test_lru_eviction():
+    tlb = Tlb(2)
+    tlb.insert(1, 0x1000, 0xA000, F.URW)
+    tlb.insert(1, 0x2000, 0xB000, F.URW)
+    tlb.lookup(1, 0x1000)            # make 0x1000 most recent
+    tlb.insert(1, 0x3000, 0xC000, F.URW)
+    assert tlb.lookup(1, 0x2000) is None   # evicted
+    assert tlb.lookup(1, 0x1000) is not None
+
+
+def test_flush_clears_everything():
+    tlb = Tlb(4)
+    tlb.insert(1, 0x1000, 0x9000, F.URW)
+    tlb.flush()
+    assert len(tlb) == 0
+    assert tlb.flushes == 1
+
+
+def test_flush_asid_is_selective():
+    tlb = Tlb(4)
+    tlb.insert(1, 0x1000, 0x9000, F.URW)
+    tlb.insert(2, 0x1000, 0x8000, F.URW)
+    tlb.flush_asid(1)
+    assert tlb.lookup(1, 0x1000) is None
+    assert tlb.lookup(2, 0x1000) is not None
+
+
+def test_invlpg_single_page():
+    tlb = Tlb(4)
+    tlb.insert(1, 0x1000, 0x9000, F.URW)
+    tlb.insert(1, 0x2000, 0xA000, F.URW)
+    tlb.invlpg(1, 0x1000)
+    assert tlb.lookup(1, 0x1000) is None
+    assert tlb.lookup(1, 0x2000) is not None
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        Tlb(0)

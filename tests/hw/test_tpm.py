@@ -1,0 +1,134 @@
+"""Tests for the TPM model: PCRs, quote, seal/unseal."""
+
+import pytest
+
+from repro.crypto.hashes import sha256
+from repro.errors import SealError, TpmError
+from repro.hw.tpm import NUM_PCRS, Tpm
+
+
+@pytest.fixture
+def tpm():
+    return Tpm(seed=b"test-tpm")
+
+
+def test_pcrs_start_zero(tpm):
+    assert tpm.read_pcr(0) == b"\x00" * 32
+
+
+def test_extend_is_hash_chain(tpm):
+    d = sha256(b"component")
+    tpm.extend(0, d)
+    assert tpm.read_pcr(0) == sha256(b"\x00" * 32, d)
+
+
+def test_extend_order_matters(tpm):
+    other = Tpm(seed=b"test-tpm")
+    tpm.extend(0, sha256(b"a"))
+    tpm.extend(0, sha256(b"b"))
+    other.extend(0, sha256(b"b"))
+    other.extend(0, sha256(b"a"))
+    assert tpm.read_pcr(0) != other.read_pcr(0)
+
+
+def test_extend_cannot_be_undone(tpm):
+    tpm.extend(0, sha256(b"x"))
+    value = tpm.read_pcr(0)
+    tpm.extend(0, sha256(b"y"))
+    assert tpm.read_pcr(0) != value      # no way back but reboot
+
+
+def test_reboot_resets_pcrs(tpm):
+    tpm.extend(0, sha256(b"x"))
+    tpm.reboot()
+    assert tpm.read_pcr(0) == b"\x00" * 32
+
+
+def test_bad_pcr_index_rejected(tpm):
+    with pytest.raises(TpmError):
+        tpm.read_pcr(NUM_PCRS)
+    with pytest.raises(TpmError):
+        tpm.extend(-1, sha256(b"x"))
+
+
+def test_bad_digest_length_rejected(tpm):
+    with pytest.raises(TpmError):
+        tpm.extend(0, b"short")
+
+
+class TestQuote:
+    def test_quote_verifies_against_ek(self, tpm):
+        tpm.extend(0, sha256(b"bios"))
+        quote = tpm.quote(b"nonce", (0, 1))
+        assert quote.verify(tpm.ek_public)
+
+    def test_quote_reports_pcr_values(self, tpm):
+        tpm.extend(2, sha256(b"kernel"))
+        quote = tpm.quote(b"n", (2,))
+        assert quote.pcr_values == (tpm.read_pcr(2),)
+
+    def test_quote_from_other_tpm_fails_chain(self, tpm):
+        other = Tpm(seed=b"other-tpm")
+        quote = other.quote(b"n", (0,))
+        assert not quote.verify(tpm.ek_public)
+
+    def test_tampered_quote_fails(self, tpm):
+        quote = tpm.quote(b"n", (0,))
+        import dataclasses
+        forged = dataclasses.replace(quote, nonce=b"m")
+        assert not forged.verify(tpm.ek_public)
+
+    def test_quote_bad_pcr_rejected(self, tpm):
+        with pytest.raises(TpmError):
+            tpm.quote(b"n", (99,))
+
+
+class TestSeal:
+    def test_roundtrip(self, tpm):
+        tpm.extend(0, sha256(b"boot"))
+        blob = tpm.seal(b"root key", (0,))
+        assert tpm.unseal(blob) == b"root key"
+
+    def test_pcr_change_blocks_unseal(self, tpm):
+        tpm.extend(0, sha256(b"boot"))
+        blob = tpm.seal(b"root key", (0,))
+        tpm.extend(0, sha256(b"malware"))
+        with pytest.raises(SealError):
+            tpm.unseal(blob)
+
+    def test_reboot_with_same_measurements_unseals(self, tpm):
+        tpm.extend(0, sha256(b"boot"))
+        blob = tpm.seal(b"root key", (0,))
+        tpm.reboot()
+        tpm.extend(0, sha256(b"boot"))
+        assert tpm.unseal(blob) == b"root key"
+
+    def test_different_tpm_cannot_unseal(self, tpm):
+        blob = tpm.seal(b"secret", ())
+        other = Tpm(seed=b"other-tpm")
+        with pytest.raises(SealError):
+            other.unseal(blob)
+
+    def test_unselected_pcrs_dont_matter(self, tpm):
+        blob = tpm.seal(b"secret", (0,))
+        tpm.extend(5, sha256(b"whatever"))
+        assert tpm.unseal(blob) == b"secret"
+
+    def test_corrupt_blob_rejected(self, tpm):
+        blob = bytearray(tpm.seal(b"secret", (0,)))
+        blob[-1] ^= 1
+        with pytest.raises(SealError):
+            tpm.unseal(bytes(blob))
+
+    def test_truncated_blob_rejected(self, tpm):
+        with pytest.raises(SealError):
+            tpm.unseal(b"\x01")
+
+
+def test_random_is_deterministic_per_seed():
+    assert Tpm(seed=b"s").random(16) == Tpm(seed=b"s").random(16)
+    assert Tpm(seed=b"s").random(16) != Tpm(seed=b"t").random(16)
+
+
+def test_ek_is_stable_per_seed():
+    assert Tpm(seed=b"s").ek_public == Tpm(seed=b"s").ek_public

@@ -1,0 +1,181 @@
+"""Tests for the LibOS layer (Occlum-like and native)."""
+
+import pytest
+
+from repro.errors import OsError, SdkError
+from repro.libos.base import LIBOS_EDL_UNTRUSTED
+from repro.libos.native import NativeLibos
+from repro.libos.occlum import OcclumLibos, register_libos_ocalls
+from repro.monitor.structs import EnclaveConfig, EnclaveMode
+from repro.platform import TeePlatform
+from repro.sdk.image import EnclaveImage
+
+EDL = """
+enclave {
+    trusted {
+        public uint64 fs_roundtrip([in, size=n] bytes data, uint64 n);
+        public uint64 fs_stat_missing();
+        public uint64 echo_server(uint64 port);
+        public uint64 accept_conn(uint64 port);
+        public uint64 serve_once(uint64 conn);
+    };
+    untrusted {
+""" + LIBOS_EDL_UNTRUSTED + """
+    };
+};
+"""
+
+
+def t_fs_roundtrip(ctx, data, n):
+    libos = OcclumLibos(ctx)
+    libos.write_file("/f", data)
+    assert libos.read_file("/f") == data
+    assert libos.stat("/f") == n
+    assert libos.exists("/f")
+    assert not libos.exists("/nope")
+    return 1
+
+
+def t_fs_stat_missing(ctx):
+    libos = OcclumLibos(ctx)
+    try:
+        libos.stat("/missing")
+    except OsError:
+        return 1
+    return 0
+
+
+def t_echo_server(ctx, port):
+    libos = OcclumLibos(ctx)
+    libos.listen(int(port))
+    ctx.globals["libos"] = libos
+    return 0
+
+
+def t_accept_conn(ctx, port):
+    return ctx.globals["libos"].accept(int(port))
+
+
+def t_serve_once(ctx, conn):
+    libos = ctx.globals["libos"]
+    data = libos.recv(int(conn))
+    if data is None:
+        return 0
+    libos.send(int(conn), data[::-1])
+    return len(data)
+
+
+@pytest.fixture
+def loaded():
+    platform = TeePlatform.hyperenclave()
+    image = EnclaveImage.build(
+        "libos-test", EDL,
+        {"fs_roundtrip": t_fs_roundtrip,
+         "fs_stat_missing": t_fs_stat_missing,
+         "echo_server": t_echo_server, "accept_conn": t_accept_conn,
+         "serve_once": t_serve_once},
+        EnclaveConfig(mode=EnclaveMode.GU, heap_size=4 * 1024 * 1024,
+                      # recv OCALLs ocalloc RECV_CAPACITY (64 KB) frames.
+                      marshalling_buffer_size=512 * 1024))
+    handle = platform.load_enclave(image)
+    register_libos_ocalls(handle, platform.loopback)
+    yield platform, handle
+    handle.destroy()
+
+
+class TestOcclumFs:
+    def test_in_enclave_fs_roundtrip(self, loaded):
+        _, handle = loaded
+        assert handle.proxies.fs_roundtrip(data=b"occlum file", n=11) == 1
+
+    def test_missing_file_raises(self, loaded):
+        _, handle = loaded
+        assert handle.proxies.fs_stat_missing() == 1
+
+    def test_fs_charges_enclave_memory(self, loaded):
+        platform, handle = loaded
+        with platform.cycles.measure() as span:
+            handle.proxies.fs_roundtrip(data=b"x" * 4096, n=4096)
+        assert span.categories.get("enclave-memory", 0) > 0
+
+
+class TestOcclumSockets:
+    def test_echo_over_ocalls(self, loaded):
+        platform, handle = loaded
+        handle.proxies.echo_server(port=7777)
+        client = platform.loopback.connect(7777)
+        # The enclave accepts through its LibOS OCALL path.
+        conn = handle.proxies.accept_conn(port=7777)
+        platform.loopback.send(client, b"hello", from_client=True)
+
+        # Run the serve step as a real ECALL.
+        served = handle.proxies.serve_once(conn=conn)
+        assert served == 5
+        reply = platform.loopback.recv(client, from_client=False)
+        assert reply == b"olleh"
+
+    def test_recv_idle_returns_zero(self, loaded):
+        platform, handle = loaded
+        handle.proxies.echo_server(port=7778)
+        platform.loopback.connect(7778)
+        conn = handle.proxies.accept_conn(port=7778)
+        assert handle.proxies.serve_once(conn=conn) == 0
+
+    def test_send_on_unknown_connection(self, loaded):
+        platform, handle = loaded
+
+        def t_bad(ctx, port):
+            libos = OcclumLibos(ctx)
+            libos.send(9999, b"x")
+            return 0
+
+        handle.image.trusted_funcs["echo_server"] = t_bad
+        with pytest.raises(SdkError):
+            handle.proxies.echo_server(port=1)
+
+    def test_socket_io_crosses_boundary(self, loaded):
+        """LibOS network ops must cost OCALL round trips."""
+        platform, handle = loaded
+        handle.proxies.echo_server(port=7779)
+        client = platform.loopback.connect(7779)
+        conn = handle.proxies.accept_conn(port=7779)
+        platform.loopback.send(client, b"ping", from_client=True)
+        with platform.cycles.measure() as span:
+            handle.proxies.serve_once(conn=conn)
+        assert span.categories.get("sdk-ocall", 0) > 0
+
+
+class TestNativeLibos:
+    @pytest.fixture
+    def native(self):
+        platform = TeePlatform.native()
+        return platform, NativeLibos(platform.kernel, platform.loopback,
+                                     platform.os_vfs)
+
+    def test_fs_roundtrip(self, native):
+        _, libos = native
+        libos.write_file("/doc", b"data")
+        assert libos.read_file("/doc") == b"data"
+        assert libos.stat("/doc") == 4
+        assert libos.exists("/doc")
+
+    def test_sockets(self, native):
+        platform, libos = native
+        libos.listen(80)
+        client = platform.loopback.connect(80)
+        conn = libos.accept(80)
+        platform.loopback.send(client, b"req", from_client=True)
+        assert libos.recv(conn) == b"req"
+        libos.send(conn, b"resp")
+        assert platform.loopback.recv(client, from_client=False) == b"resp"
+        libos.close(conn)
+        with pytest.raises(SdkError):
+            libos.recv(conn)
+
+    def test_every_op_is_a_syscall(self, native):
+        platform, libos = native
+        before = platform.kernel.syscalls
+        libos.write_file("/f", b"1")
+        libos.read_file("/f")
+        libos.exists("/f")
+        assert platform.kernel.syscalls == before + 3

@@ -1,0 +1,168 @@
+"""Tests for measured late launch, attestation and sealing (Sec 3.3, 6)."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import AttestationError, SealError
+from repro.hw.machine import Machine, MachineConfig
+from repro.monitor import attestation as att
+from repro.monitor.boot import (DEFAULT_MONITOR_IMAGE, default_components,
+                                measured_late_launch)
+from repro.monitor.attestation import QuoteVerifier, PlatformGoldenValues
+
+from .conftest import build_minimal_enclave
+
+
+def small_machine():
+    return Machine(MachineConfig(
+        phys_size=512 * 1024 * 1024,
+        reserved_base=256 * 1024 * 1024,
+        reserved_size=128 * 1024 * 1024,
+    ))
+
+
+def launch(machine=None, **kwargs):
+    machine = machine or small_machine()
+    return machine, measured_late_launch(
+        machine, monitor_private_size=32 * 1024 * 1024, **kwargs)
+
+
+def test_boot_extends_all_pcrs():
+    machine, boot = launch()
+    for idx in att.QUOTE_PCRS:
+        assert machine.tpm.read_pcr(idx) != b"\x00" * 32
+
+
+def test_quote_verifies_end_to_end():
+    machine, boot = launch()
+    eid, enclave = build_minimal_enclave(boot.monitor, machine)
+    quote = boot.monitor.quote(eid, b"user data", nonce=b"n0")
+    verifier = QuoteVerifier(boot.golden)
+    report = verifier.verify(quote, expected_mrenclave=enclave.secs.mrenclave,
+                             expected_nonce=b"n0")
+    assert report.report_data == b"user data"
+
+
+def test_tampered_kernel_fails_verification():
+    """Booting a modified kernel changes PCRs -> golden mismatch."""
+    machine = small_machine()
+    components = default_components(DEFAULT_MONITOR_IMAGE)
+    golden_machine, golden_boot = launch()
+
+    components[3] = dataclasses.replace(components[3],
+                                        image=b"Linux 4.19.91 + rootkit")
+    boot = measured_late_launch(machine, components=components,
+                                monitor_private_size=32 * 1024 * 1024)
+    eid, enclave = build_minimal_enclave(boot.monitor, machine)
+    quote = boot.monitor.quote(eid, b"", nonce=b"n")
+    verifier = QuoteVerifier(golden_boot.golden)
+    with pytest.raises(AttestationError, match="PCR"):
+        verifier.verify(quote)
+
+
+def test_tampered_monitor_fails_verification():
+    machine = small_machine()
+    _, golden_boot = launch()
+    boot = measured_late_launch(machine, monitor_image=b"EvilMonitor",
+                                monitor_private_size=32 * 1024 * 1024)
+    eid, enclave = build_minimal_enclave(boot.monitor, machine)
+    quote = boot.monitor.quote(eid, b"", nonce=b"n")
+    with pytest.raises(AttestationError):
+        QuoteVerifier(golden_boot.golden).verify(quote)
+
+
+def test_quote_from_wrong_tpm_fails():
+    machine_a, boot_a = launch()
+    machine_b = Machine(MachineConfig(
+        phys_size=512 * 1024 * 1024, reserved_base=256 * 1024 * 1024,
+        reserved_size=128 * 1024 * 1024, tpm_seed=b"different-chip"))
+    boot_b = measured_late_launch(machine_b,
+                                  monitor_private_size=32 * 1024 * 1024)
+    eid, enclave = build_minimal_enclave(boot_b.monitor, machine_b)
+    quote = boot_b.monitor.quote(eid, b"", nonce=b"n")
+    # Verify against machine A's golden values (wrong EK).
+    with pytest.raises(AttestationError):
+        QuoteVerifier(boot_a.golden).verify(quote)
+
+
+def test_forged_ems_fails():
+    machine, boot = launch()
+    eid, enclave = build_minimal_enclave(boot.monitor, machine)
+    quote = boot.monitor.quote(eid, b"", nonce=b"n")
+    forged_report = dataclasses.replace(quote.report,
+                                        mrenclave=b"\xaa" * 32)
+    forged = dataclasses.replace(quote, report=forged_report)
+    with pytest.raises(AttestationError, match="measurement signature"):
+        QuoteVerifier(boot.golden).verify(forged)
+
+
+def test_substituted_hapk_fails():
+    """An attacker monitor can't swap in its own attestation key."""
+    from repro.crypto.rsa import cached_keypair
+    machine, boot = launch()
+    eid, enclave = build_minimal_enclave(boot.monitor, machine)
+    quote = boot.monitor.quote(eid, b"", nonce=b"n")
+    attacker = cached_keypair(b"attacker-key", 768)
+    forged = dataclasses.replace(
+        quote, hapk=attacker.public,
+        ems=attacker.sign(quote.report.payload()))
+    with pytest.raises(AttestationError, match="hapk"):
+        QuoteVerifier(boot.golden).verify(forged)
+
+
+def test_nonce_replay_detected():
+    machine, boot = launch()
+    eid, enclave = build_minimal_enclave(boot.monitor, machine)
+    quote = boot.monitor.quote(eid, b"", nonce=b"old-nonce")
+    with pytest.raises(AttestationError, match="nonce"):
+        QuoteVerifier(boot.golden).verify(quote, expected_nonce=b"fresh")
+
+
+def test_verifier_requires_ek():
+    with pytest.raises(AttestationError):
+        QuoteVerifier(PlatformGoldenValues(pcr_values={}))
+
+
+class TestRootKeyLifecycle:
+    def test_same_boot_chain_recovers_k_root(self):
+        machine, boot = launch()
+        eid, _ = build_minimal_enclave(boot.monitor, machine)
+        key_before = boot.monitor.egetkey(eid)
+
+        # Reboot with the sealed blob from disk; same measurements.
+        machine.reboot()
+        boot2 = measured_late_launch(
+            machine, sealed_root_key=boot.sealed_root_key,
+            monitor_private_size=32 * 1024 * 1024)
+        eid2, _ = build_minimal_enclave(boot2.monitor, machine)
+        assert boot2.monitor.egetkey(eid2) == key_before
+
+    def test_tampered_boot_cannot_unseal_k_root(self):
+        machine, boot = launch()
+        machine.reboot()
+        components = default_components(b"EvilMonitor")
+        with pytest.raises(SealError):
+            measured_late_launch(machine,
+                                 sealed_root_key=boot.sealed_root_key,
+                                 components=components,
+                                 monitor_private_size=32 * 1024 * 1024)
+
+    def test_demoted_os_cannot_unseal_k_root(self):
+        """PCR flooding (Sec 3.3): after launch the OS sees flooded PCRs,
+        so the TPM refuses to unseal K_root for it."""
+        machine, boot = launch()
+        with pytest.raises(SealError):
+            machine.tpm.unseal(boot.sealed_root_key)
+
+    def test_seal_keys_survive_reboot(self):
+        machine, boot = launch()
+        eid, e = build_minimal_enclave(boot.monitor, machine)
+        sealed = boot.monitor.egetkey(eid)
+        machine.reboot()
+        boot2 = measured_late_launch(
+            machine, sealed_root_key=boot.sealed_root_key,
+            monitor_private_size=32 * 1024 * 1024)
+        eid2, e2 = build_minimal_enclave(boot2.monitor, machine)
+        assert e2.secs.mrenclave == e.secs.mrenclave
+        assert boot2.monitor.egetkey(eid2) == sealed

@@ -1,0 +1,75 @@
+"""Tests for the runtime invariant auditor (the paper's verification
+properties, checked over live state)."""
+
+import pytest
+
+from repro.errors import SecurityViolation
+from repro.hw.paging import PageTableFlags
+from repro.hw.phys import PAGE_SIZE
+from repro.monitor.enclave import ENCLAVE_BASE_VA
+from repro.monitor.structs import EnclaveMode, PagePerm
+
+from .conftest import build_minimal_enclave
+
+
+def test_clean_platform_audits_clean(platform):
+    machine, boot = platform
+    boot.monitor.audit_invariants()
+
+
+def test_audits_clean_with_enclaves_and_msbuf(platform):
+    machine, boot = platform
+    build_minimal_enclave(boot.monitor, machine)
+    build_minimal_enclave(boot.monitor, machine, code=b"second",
+                          mode=EnclaveMode.HU)
+    boot.monitor.audit_invariants()
+
+
+def test_audits_clean_after_edmm_churn(platform):
+    machine, boot = platform
+    monitor = boot.monitor
+    eid, enclave = build_minimal_enclave(monitor, machine)
+    heap = ENCLAVE_BASE_VA + 16 * PAGE_SIZE
+    for i in range(4):
+        monitor.handle_enclave_page_fault(eid, heap + i * PAGE_SIZE,
+                                          write=True)
+    monitor.enclave_mprotect(eid, heap, 2, PagePerm.R)
+    monitor.enclave_trim(eid, heap, 4)
+    monitor.audit_invariants()
+
+
+def test_foreign_frame_mapping_detected(platform):
+    """A (hypothetically buggy) monitor maps enclave B's frame into A."""
+    machine, boot = platform
+    monitor = boot.monitor
+    _, a = build_minimal_enclave(monitor, machine, code=b"A")
+    _, b = build_minimal_enclave(monitor, machine, code=b"B")
+    a.pt.map(ENCLAVE_BASE_VA + 60 * PAGE_SIZE, b.pages[0].pa,
+             PageTableFlags.URW)
+    with pytest.raises(SecurityViolation, match="I-1"):
+        monitor.audit_invariants()
+
+
+def test_aliased_frame_detected(platform):
+    machine, boot = platform
+    monitor = boot.monitor
+    eid_a, a = build_minimal_enclave(monitor, machine, code=b"A2")
+    eid_b, b = build_minimal_enclave(monitor, machine, code=b"B2")
+    # Forge ownership so I-1 passes but I-2 must trip.
+    from repro.hw.phys import enclave_owner
+    shared_pa = a.pages[0].pa
+    b.pt.map(ENCLAVE_BASE_VA + 60 * PAGE_SIZE, shared_pa,
+             PageTableFlags.URW)
+    machine.phys.set_owner(shared_pa, enclave_owner(eid_a))
+    with pytest.raises(SecurityViolation, match="I-"):
+        monitor.audit_invariants()
+
+
+def test_npt_hole_regression_detected(platform):
+    machine, boot = platform
+    monitor = boot.monitor
+    # A buggy update re-adds the reserved region to the normal NPT.
+    monitor.normal_npt.add(machine.config.reserved_base,
+                           machine.config.reserved_base + PAGE_SIZE)
+    with pytest.raises(SecurityViolation, match="I-3"):
+        monitor.audit_invariants()

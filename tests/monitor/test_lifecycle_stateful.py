@@ -1,0 +1,129 @@
+"""Stateful lifecycle fuzzing of RustMonitor.
+
+A hypothesis rule-based state machine drives random interleavings of the
+monitor's whole surface — create/load/init enclaves, demand paging,
+permission changes, swapping, trimming, destruction — and after every
+step asserts the global security invariants (`audit_invariants`) plus a
+model-based check of pool accounting.  This is the testing analog of the
+formal verification the paper reports as work-in-progress.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (Bundle, RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.phys import PAGE_SIZE
+from repro.monitor.boot import measured_late_launch
+from repro.monitor.enclave import ENCLAVE_BASE_VA
+from repro.monitor.structs import EnclaveConfig, EnclaveMode, PagePerm
+
+from tests.monitor.conftest import build_minimal_enclave
+
+HEAP_BASE = ENCLAVE_BASE_VA + 16 * PAGE_SIZE
+HEAP_PAGES = 16
+
+
+class MonitorLifecycle(RuleBasedStateMachine):
+    enclaves = Bundle("enclaves")
+
+    @initialize()
+    def boot(self):
+        machine = Machine(MachineConfig(
+            phys_size=512 * 1024 * 1024,
+            reserved_base=256 * 1024 * 1024,
+            reserved_size=64 * 1024 * 1024,
+        ))
+        self.machine = machine
+        self.monitor = measured_late_launch(
+            machine, monitor_private_size=8 * 1024 * 1024).monitor
+        self.live: set[int] = set()
+        self.initial_free = (self.monitor.epc_pool.free_pages,
+                             self.monitor.monitor_pool.free_pages)
+
+    # -- rules -----------------------------------------------------------------
+
+    @rule(target=enclaves,
+          mode=st.sampled_from([EnclaveMode.GU, EnclaveMode.HU,
+                                EnclaveMode.P]),
+          tag=st.integers(0, 1_000_000))
+    def create_enclave(self, mode, tag):
+        eid, _ = build_minimal_enclave(
+            self.monitor, self.machine, mode=mode,
+            code=b"fuzz-%d" % tag, with_msbuf=False)
+        self.live.add(eid)
+        return eid
+
+    @rule(eid=enclaves, page=st.integers(0, HEAP_PAGES - 1))
+    def touch_heap(self, eid, page):
+        if eid not in self.live:
+            return
+        va = HEAP_BASE + page * PAGE_SIZE
+        if self.monitor.enclaves[eid].page_at(va) is None:
+            self.monitor.handle_enclave_page_fault(eid, va, write=True)
+
+    @rule(eid=enclaves, page=st.integers(0, HEAP_PAGES - 1),
+          perm=st.sampled_from([PagePerm.R, PagePerm.RW]))
+    def mprotect(self, eid, page, perm):
+        if eid not in self.live:
+            return
+        va = HEAP_BASE + page * PAGE_SIZE
+        if self.monitor.enclaves[eid].page_at(va) is not None:
+            self.monitor.enclave_mprotect(eid, va, 1, perm)
+
+    @rule(eid=enclaves, page=st.integers(0, HEAP_PAGES - 1))
+    def swap_out(self, eid, page):
+        if eid not in self.live:
+            return
+        self.monitor.swap_out(eid, HEAP_BASE + page * PAGE_SIZE)
+
+    @rule(eid=enclaves, page=st.integers(0, HEAP_PAGES - 1))
+    def swap_back_in(self, eid, page):
+        if eid not in self.live:
+            return
+        va = HEAP_BASE + page * PAGE_SIZE
+        state = self.monitor._swap_states.get(eid)
+        if state is not None and va in state.records:
+            self.monitor.handle_enclave_page_fault(eid, va, write=True)
+
+    @rule(eid=enclaves, page=st.integers(0, HEAP_PAGES - 1),
+          count=st.integers(1, 4))
+    def trim(self, eid, page, count):
+        if eid not in self.live:
+            return
+        self.monitor.enclave_trim(eid, HEAP_BASE + page * PAGE_SIZE, count)
+
+    @rule(eid=enclaves)
+    def destroy(self, eid):
+        if eid not in self.live:
+            return
+        self.monitor.eremove(eid)
+        self.live.discard(eid)
+
+    # -- invariants ----------------------------------------------------------------
+
+    @invariant()
+    def security_invariants_hold(self):
+        if hasattr(self, "monitor"):
+            self.monitor.audit_invariants()
+
+    @invariant()
+    def pool_accounting_consistent(self):
+        """Free + committed + swapped bookkeeping must never leak frames."""
+        if not hasattr(self, "monitor"):
+            return
+        committed = sum(len(e.pages)
+                        for e in self.monitor.enclaves.values())
+        free = self.monitor.epc_pool.free_pages
+        assert free + committed == self.initial_free[0], \
+            (free, committed, self.initial_free[0])
+
+
+MonitorLifecycle.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestMonitorLifecycle = MonitorLifecycle.TestCase

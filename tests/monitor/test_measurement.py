@@ -1,0 +1,96 @@
+"""Tests for MRENCLAVE construction."""
+
+import pytest
+
+from repro.errors import EnclaveError
+from repro.monitor.measurement import MeasurementLog
+from repro.monitor.structs import PagePerm, PageType
+
+
+def build(pages):
+    log = MeasurementLog()
+    log.ecreate(0x1000, 0x100000, "gu")
+    for offset, ptype, perms, content in pages:
+        log.eadd(offset, ptype, perms, content)
+    return log.finalize()
+
+
+def test_deterministic():
+    pages = [(0, PageType.REG, PagePerm.RX, b"code")]
+    assert build(pages) == build(pages)
+
+
+def test_content_changes_measurement():
+    a = build([(0, PageType.REG, PagePerm.RX, b"code-v1")])
+    b = build([(0, PageType.REG, PagePerm.RX, b"code-v2")])
+    assert a != b
+
+
+def test_permissions_are_measured():
+    a = build([(0, PageType.REG, PagePerm.RX, b"code")])
+    b = build([(0, PageType.REG, PagePerm.RWX, b"code")])
+    assert a != b
+
+
+def test_page_type_is_measured():
+    a = build([(0, PageType.REG, PagePerm.RW, b"")])
+    b = build([(0, PageType.TCS, PagePerm.RW, b"")])
+    assert a != b
+
+
+def test_offset_is_measured():
+    a = build([(0, PageType.REG, PagePerm.RW, b"x")])
+    b = build([(4096, PageType.REG, PagePerm.RW, b"x")])
+    assert a != b
+
+
+def test_order_is_measured():
+    p1 = (0, PageType.REG, PagePerm.RW, b"a")
+    p2 = (4096, PageType.REG, PagePerm.RW, b"b")
+    assert build([p1, p2]) != build([p2, p1])
+
+
+def test_geometry_is_measured():
+    log1 = MeasurementLog()
+    log1.ecreate(0x1000, 0x100000, "gu")
+    log2 = MeasurementLog()
+    log2.ecreate(0x1000, 0x200000, "gu")
+    assert log1.finalize() != log2.finalize()
+
+
+def test_mode_is_measured():
+    log1 = MeasurementLog()
+    log1.ecreate(0, 0x1000, "gu")
+    log2 = MeasurementLog()
+    log2.ecreate(0, 0x1000, "hu")
+    assert log1.finalize() != log2.finalize()
+
+
+def test_no_eadd_after_finalize():
+    log = MeasurementLog()
+    log.ecreate(0, 0x1000, "gu")
+    log.finalize()
+    with pytest.raises(EnclaveError):
+        log.eadd(0, PageType.REG, PagePerm.RW, b"late")
+
+
+def test_finalize_idempotent():
+    log = MeasurementLog()
+    log.ecreate(0, 0x1000, "gu")
+    assert log.finalize() == log.finalize()
+    assert log.finalized
+
+
+def test_oversized_page_rejected():
+    log = MeasurementLog()
+    log.ecreate(0, 0x1000, "gu")
+    with pytest.raises(EnclaveError):
+        log.eadd(0, PageType.REG, PagePerm.RW, b"x" * 5000)
+
+
+def test_pages_measured_counter():
+    log = MeasurementLog()
+    log.ecreate(0, 0x10000, "gu")
+    log.eadd(0, PageType.REG, PagePerm.RW, b"")
+    log.eadd(4096, PageType.REG, PagePerm.RW, b"")
+    assert log.pages_measured == 2

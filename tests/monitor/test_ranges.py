@@ -1,0 +1,99 @@
+"""Tests for the interval set used as the normal VM's NPT."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.monitor.ranges import RangeSet
+
+
+def test_add_and_contains():
+    rs = RangeSet()
+    rs.add(10, 20)
+    assert rs.contains(10)
+    assert rs.contains(19)
+    assert not rs.contains(20)
+    assert not rs.contains(9)
+
+
+def test_merge_adjacent():
+    rs = RangeSet()
+    rs.add(0, 10)
+    rs.add(10, 20)
+    assert rs.ranges() == [(0, 20)]
+
+
+def test_merge_overlapping():
+    rs = RangeSet()
+    rs.add(0, 15)
+    rs.add(10, 30)
+    assert rs.ranges() == [(0, 30)]
+
+
+def test_disjoint_ranges_stay_apart():
+    rs = RangeSet()
+    rs.add(0, 10)
+    rs.add(20, 30)
+    assert rs.ranges() == [(0, 10), (20, 30)]
+
+
+def test_remove_splits():
+    rs = RangeSet()
+    rs.add(0, 100)
+    rs.remove(40, 60)
+    assert rs.ranges() == [(0, 40), (60, 100)]
+    assert not rs.contains(50)
+
+
+def test_remove_edge():
+    rs = RangeSet()
+    rs.add(0, 100)
+    rs.remove(0, 10)
+    assert rs.ranges() == [(10, 100)]
+
+
+def test_remove_across_ranges():
+    rs = RangeSet()
+    rs.add(0, 10)
+    rs.add(20, 30)
+    rs.remove(5, 25)
+    assert rs.ranges() == [(0, 5), (25, 30)]
+
+
+def test_contains_range():
+    rs = RangeSet()
+    rs.add(0, 100)
+    rs.remove(40, 60)
+    assert rs.contains_range(0, 40)
+    assert not rs.contains_range(30, 50)
+    assert not rs.contains_range(40, 60)
+    assert rs.contains_range(60, 100)
+
+
+def test_empty_range_rejected():
+    rs = RangeSet()
+    with pytest.raises(ValueError):
+        rs.add(5, 5)
+    with pytest.raises(ValueError):
+        rs.remove(5, 5)
+    rs.add(0, 10)
+    with pytest.raises(ValueError):
+        rs.contains_range(3, 3)
+
+
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(0, 200),
+                          st.integers(1, 50)), max_size=30))
+def test_property_matches_naive_set(ops):
+    """The interval set always agrees with a naive set of integers."""
+    rs = RangeSet()
+    naive: set[int] = set()
+    for is_add, start, length in ops:
+        if is_add:
+            rs.add(start, start + length)
+            naive |= set(range(start, start + length))
+        else:
+            rs.remove(start, start + length)
+            naive -= set(range(start, start + length))
+    for point in range(0, 260):
+        assert rs.contains(point) == (point in naive)

@@ -1,0 +1,79 @@
+"""Tests for multi-CPU TLB shootdowns."""
+
+import pytest
+
+from repro.hw import costs
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.phys import PAGE_SIZE
+from repro.monitor.boot import measured_late_launch
+from repro.monitor.enclave import ENCLAVE_BASE_VA
+from repro.monitor.structs import PagePerm
+
+from .conftest import build_minimal_enclave
+
+HEAP_VA = ENCLAVE_BASE_VA + 16 * PAGE_SIZE
+
+
+def _platform(num_cpus):
+    machine = Machine(MachineConfig(
+        phys_size=512 * 1024 * 1024,
+        reserved_base=256 * 1024 * 1024,
+        reserved_size=64 * 1024 * 1024,
+        num_cpus=num_cpus,
+    ))
+    boot = measured_late_launch(machine,
+                                monitor_private_size=8 * 1024 * 1024)
+    return machine, boot.monitor
+
+
+def _mprotect_cost(num_cpus):
+    machine, monitor = _platform(num_cpus)
+    eid, enclave = build_minimal_enclave(monitor, machine,
+                                         with_msbuf=False)
+    monitor.handle_enclave_page_fault(eid, HEAP_VA, write=True)
+    with machine.cycles.measure() as span:
+        monitor.enclave_mprotect(eid, HEAP_VA, 1, PagePerm.R)
+    return span.elapsed
+
+
+def test_single_cpu_has_no_ipi_cost():
+    """num_cpus=1 must not perturb the Table 2 calibration."""
+    machine, monitor = _platform(1)
+    eid, _ = build_minimal_enclave(monitor, machine, with_msbuf=False)
+    monitor.handle_enclave_page_fault(eid, HEAP_VA, write=True)
+    with machine.cycles.measure() as span:
+        monitor.enclave_mprotect(eid, HEAP_VA, 1, PagePerm.R)
+    assert "tlb-shootdown" not in span.categories
+
+
+def test_shootdown_cost_scales_with_cpus():
+    one = _mprotect_cost(1)
+    four = _mprotect_cost(4)
+    sixteen = _mprotect_cost(16)
+    assert one < four < sixteen
+    # The marginal cost per extra CPU matches the IPI constants.
+    assert sixteen - four == pytest.approx(
+        12 * costs.IPI_PER_CPU_CYCLES)
+
+
+def test_swap_out_triggers_shootdown_on_smp():
+    machine, monitor = _platform(8)
+    eid, _ = build_minimal_enclave(monitor, machine, with_msbuf=False)
+    monitor.handle_enclave_page_fault(eid, HEAP_VA, write=True)
+    with machine.cycles.measure() as span:
+        monitor.swap_out(eid, HEAP_VA)
+    assert span.categories.get("tlb-shootdown", 0) > 0
+
+
+def test_trim_triggers_shootdown_on_smp():
+    machine, monitor = _platform(8)
+    eid, _ = build_minimal_enclave(monitor, machine, with_msbuf=False)
+    monitor.handle_enclave_page_fault(eid, HEAP_VA, write=True)
+    with machine.cycles.measure() as span:
+        monitor.enclave_trim(eid, HEAP_VA, 1)
+    assert span.categories.get("tlb-shootdown", 0) > 0
+
+
+def test_bad_cpu_count_rejected():
+    with pytest.raises(ValueError):
+        MachineConfig(num_cpus=0)

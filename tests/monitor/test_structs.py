@@ -1,0 +1,82 @@
+"""Tests for enclave structures and SIGSTRUCT."""
+
+import pytest
+
+from repro.crypto.rsa import cached_keypair
+from repro.errors import EnclaveError
+from repro.monitor.structs import (EnclaveConfig, EnclaveMode, PagePerm,
+                                   Secs, Sigstruct, SsaFrame, Tcs)
+
+KEY = cached_keypair(b"vendor-signing-key", 768)
+OTHER = cached_keypair(b"not-the-vendor", 768)
+
+
+class TestSigstruct:
+    def test_sign_and_verify(self):
+        sig = Sigstruct.sign(b"\xaa" * 32, KEY)
+        assert sig.verify()
+
+    def test_tampered_hash_fails(self):
+        sig = Sigstruct.sign(b"\xaa" * 32, KEY)
+        import dataclasses
+        forged = dataclasses.replace(sig, enclave_hash=b"\xbb" * 32)
+        assert not forged.verify()
+
+    def test_substituted_signer_fails(self):
+        sig = Sigstruct.sign(b"\xaa" * 32, KEY)
+        import dataclasses
+        forged = dataclasses.replace(sig, signer=OTHER.public)
+        assert not forged.verify()
+
+    def test_mrsigner_identifies_vendor(self):
+        a = Sigstruct.sign(b"\xaa" * 32, KEY)
+        b = Sigstruct.sign(b"\xbb" * 32, KEY)
+        c = Sigstruct.sign(b"\xaa" * 32, OTHER)
+        assert a.mrsigner() == b.mrsigner()
+        assert a.mrsigner() != c.mrsigner()
+
+    def test_svn_in_signature(self):
+        a = Sigstruct.sign(b"\xaa" * 32, KEY, isv_svn=1)
+        b = Sigstruct.sign(b"\xaa" * 32, KEY, isv_svn=2)
+        assert a.signature != b.signature
+
+
+class TestEnclaveConfig:
+    def test_defaults_valid(self):
+        config = EnclaveConfig()
+        assert config.mode is EnclaveMode.GU
+
+    @pytest.mark.parametrize("field,value", [
+        ("heap_size", 0), ("heap_size", 100),
+        ("stack_size", -4096), ("marshalling_buffer_size", 10),
+    ])
+    def test_bad_sizes_rejected(self, field, value):
+        with pytest.raises(EnclaveError):
+            EnclaveConfig(**{field: value})
+
+    def test_needs_a_tcs(self):
+        with pytest.raises(EnclaveError):
+            EnclaveConfig(tcs_count=0)
+
+    def test_needs_ssa_frames(self):
+        with pytest.raises(EnclaveError):
+            EnclaveConfig(ssa_frames_per_tcs=0)
+
+
+class TestSecs:
+    def test_contains(self):
+        secs = Secs(1, base=0x10000, size=0x4000, mode=EnclaveMode.GU)
+        assert secs.contains(0x10000)
+        assert secs.contains(0x13FFF)
+        assert not secs.contains(0x14000)
+        assert not secs.contains(0x13FFF, size=2)
+        assert not secs.contains(0xFFFF)
+
+
+class TestTcs:
+    def test_ssa_exhaustion(self):
+        tcs = Tcs(index=0, entry_va=0x1000, ssa=[SsaFrame()])
+        assert tcs.available_ssa() is tcs.ssa[0]
+        tcs.current_ssa = 1
+        with pytest.raises(EnclaveError):
+            tcs.available_ssa()

@@ -1,0 +1,157 @@
+"""Tests for world switches: costs, TLB behaviour, AEX/ERESUME, EEXIT check."""
+
+import pytest
+
+from repro.errors import EnclaveError, SecurityViolation
+from repro.hw import costs
+from repro.hw.cpu import CpuMode
+from repro.monitor.structs import EnclaveMode
+
+from .conftest import build_minimal_enclave
+
+AEP = 0x400000
+
+
+def enter(monitor, machine, mode):
+    eid, enclave = build_minimal_enclave(monitor, machine, mode=mode,
+                                         with_msbuf=False)
+    tcs = enclave.acquire_tcs()
+    return enclave, tcs
+
+
+@pytest.mark.parametrize("mode,expected_enter,expected_exit", [
+    (EnclaveMode.GU, 1704, 1319),
+    (EnclaveMode.HU, 1163, 1144),
+    (EnclaveMode.P, 1649, 1401),
+])
+def test_switch_costs_match_table1(platform, mode, expected_enter,
+                                   expected_exit):
+    machine, boot = platform
+    enclave, tcs = enter(boot.monitor, machine, mode)
+    world = boot.monitor.world
+    with machine.cycles.measure() as span:
+        world.eenter(enclave, tcs, AEP)
+    assert span.elapsed == expected_enter
+    with machine.cycles.measure() as span:
+        world.eexit(enclave, AEP)
+    assert span.elapsed == expected_exit
+
+
+def test_cpu_mode_transitions(platform):
+    machine, boot = platform
+    world = boot.monitor.world
+    for mode, cpu_mode in [(EnclaveMode.GU, CpuMode.GUEST_USER),
+                           (EnclaveMode.HU, CpuMode.HOST_USER),
+                           (EnclaveMode.P, CpuMode.GUEST_KERNEL)]:
+        enclave, tcs = enter(boot.monitor, machine, mode)
+        world.eenter(enclave, tcs, AEP)
+        assert machine.cpu.mode is cpu_mode
+        world.eexit(enclave, AEP)
+        assert machine.cpu.mode is CpuMode.GUEST_USER
+
+
+def test_gu_switch_flushes_whole_tlb(platform):
+    machine, boot = platform
+    enclave, tcs = enter(boot.monitor, machine, EnclaveMode.GU)
+    machine.tlb.insert(99, 0x1000, 0x2000, 0)
+    boot.monitor.world.eenter(enclave, tcs, AEP)
+    assert len(machine.tlb) == 0
+
+
+def test_hu_switch_keeps_tagged_tlb_entries(platform):
+    """HU isolation comes from ASID tags: nothing is flushed, so the
+    enclave's working set stays warm across switches (part of why HU has
+    the optimal world-switch performance, Sec 4.2)."""
+    machine, boot = platform
+    enclave, tcs = enter(boot.monitor, machine, EnclaveMode.HU)
+    machine.tlb.insert(99, 0x1000, 0x2000, 0)
+    machine.tlb.insert(enclave.enclave_id, 0x3000, 0x4000, 0)
+    boot.monitor.world.eenter(enclave, tcs, AEP)
+    assert machine.tlb.lookup(99, 0x1000) is not None
+    assert machine.tlb.lookup(enclave.enclave_id, 0x3000) is not None
+
+
+def test_eexit_to_arbitrary_address_blocked(platform):
+    """The enclave-malware EEXIT jump (Sec 6) must be rejected."""
+    machine, boot = platform
+    enclave, tcs = enter(boot.monitor, machine, EnclaveMode.GU)
+    boot.monitor.world.eenter(enclave, tcs, AEP)
+    with pytest.raises(SecurityViolation):
+        boot.monitor.world.eexit(enclave, 0xDEADBEEF)
+
+
+def test_eexit_without_eenter_rejected(platform):
+    machine, boot = platform
+    enclave, tcs = enter(boot.monitor, machine, EnclaveMode.GU)
+    with pytest.raises(EnclaveError):
+        boot.monitor.world.eexit(enclave, AEP)
+
+
+def test_foreign_tcs_rejected(platform):
+    machine, boot = platform
+    enclave_a, tcs_a = enter(boot.monitor, machine, EnclaveMode.GU)
+    enclave_b, tcs_b = enter(boot.monitor, machine, EnclaveMode.GU)
+    with pytest.raises(EnclaveError):
+        boot.monitor.world.eenter(enclave_a, tcs_b, AEP)
+
+
+class TestAex:
+    def test_aex_saves_ssa_and_hands_to_os(self, platform):
+        machine, boot = platform
+        world = boot.monitor.world
+        enclave, tcs = enter(boot.monitor, machine, EnclaveMode.GU)
+        world.eenter(enclave, tcs, AEP)
+        world.aex(enclave, tcs, vector=6)
+        assert machine.cpu.mode is CpuMode.GUEST_KERNEL
+        assert tcs.current_ssa == 1
+        assert tcs.ssa[0].valid
+        assert tcs.ssa[0].exception_vector == 6
+
+    def test_eresume_restores(self, platform):
+        machine, boot = platform
+        world = boot.monitor.world
+        enclave, tcs = enter(boot.monitor, machine, EnclaveMode.GU)
+        world.eenter(enclave, tcs, AEP)
+        world.aex(enclave, tcs, vector=6)
+        world.eresume(enclave, tcs)
+        assert machine.cpu.mode is CpuMode.GUEST_USER
+        assert tcs.current_ssa == 0
+        assert not tcs.ssa[0].valid
+
+    def test_eresume_without_aex_rejected(self, platform):
+        machine, boot = platform
+        enclave, tcs = enter(boot.monitor, machine, EnclaveMode.GU)
+        with pytest.raises(EnclaveError):
+            boot.monitor.world.eresume(enclave, tcs)
+
+    def test_nested_aex_exhausts_ssa(self, platform):
+        machine, boot = platform
+        world = boot.monitor.world
+        enclave, tcs = enter(boot.monitor, machine, EnclaveMode.GU)
+        world.eenter(enclave, tcs, AEP)
+        world.aex(enclave, tcs, vector=6)   # SSA frame 0
+        world.aex(enclave, tcs, vector=14)  # SSA frame 1 (config has 2)
+        with pytest.raises(EnclaveError):
+            world.aex(enclave, tcs, vector=6)
+
+    def test_aex_cost_itemization(self, platform):
+        machine, boot = platform
+        world = boot.monitor.world
+        enclave, tcs = enter(boot.monitor, machine, EnclaveMode.GU)
+        world.eenter(enclave, tcs, AEP)
+        with machine.cycles.measure() as span:
+            world.aex(enclave, tcs, vector=6)
+        assert span.elapsed == sum(c for _, c in costs.AEX_STEPS["gu"])
+
+
+def test_tcs_acquire_release(platform):
+    machine, boot = platform
+    eid, enclave = build_minimal_enclave(boot.monitor, machine,
+                                         with_msbuf=False)
+    tcs = enclave.acquire_tcs()
+    assert tcs.busy
+    # Only one TCS was added by the helper.
+    with pytest.raises(EnclaveError):
+        enclave.acquire_tcs()
+    enclave.release_tcs(tcs)
+    assert enclave.acquire_tcs() is tcs

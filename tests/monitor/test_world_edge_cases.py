@@ -1,0 +1,87 @@
+"""Edge-case tests for world switches and AEX paths across all modes."""
+
+import pytest
+
+from repro.hw import costs
+from repro.hw.cpu import CpuMode
+from repro.monitor.structs import EnclaveMode
+
+from .conftest import build_minimal_enclave
+
+AEP = 0x400000
+
+
+@pytest.mark.parametrize("mode", [EnclaveMode.GU, EnclaveMode.HU,
+                                  EnclaveMode.P])
+def test_aex_then_eresume_per_mode(platform, mode):
+    machine, boot = platform
+    eid, enclave = build_minimal_enclave(boot.monitor, machine, mode=mode,
+                                         with_msbuf=False)
+    world = boot.monitor.world
+    tcs = enclave.acquire_tcs()
+    world.eenter(enclave, tcs, AEP)
+    with machine.cycles.measure() as span:
+        world.aex(enclave, tcs, vector=32)
+    assert span.elapsed == sum(c for _, c in costs.AEX_STEPS[mode.value])
+    with machine.cycles.measure() as span:
+        world.eresume(enclave, tcs)
+    assert span.elapsed == sum(c for _, c in
+                               costs.ERESUME_STEPS[mode.value])
+    world.eexit(enclave, AEP)
+    enclave.release_tcs(tcs)
+
+
+def test_aex_saves_interrupted_tcs_marker(platform):
+    machine, boot = platform
+    eid, enclave = build_minimal_enclave(boot.monitor, machine,
+                                         with_msbuf=False)
+    world = boot.monitor.world
+    tcs = enclave.acquire_tcs()
+    world.eenter(enclave, tcs, AEP)
+    world.aex(enclave, tcs, vector=14, fault_addr=0xBADF00D)
+    assert enclave.interrupted_tcs is tcs
+    assert tcs.ssa[0].exception_addr == 0xBADF00D
+    world.eresume(enclave, tcs)
+    assert enclave.interrupted_tcs is None
+
+
+def test_nested_aex_uses_successive_ssa_frames(platform):
+    machine, boot = platform
+    eid, enclave = build_minimal_enclave(boot.monitor, machine,
+                                         with_msbuf=False)
+    world = boot.monitor.world
+    tcs = enclave.acquire_tcs()
+    world.eenter(enclave, tcs, AEP)
+    world.aex(enclave, tcs, vector=32)
+    world.aex(enclave, tcs, vector=14)
+    assert tcs.current_ssa == 2
+    assert tcs.ssa[0].exception_vector == 32
+    assert tcs.ssa[1].exception_vector == 14
+    world.eresume(enclave, tcs)
+    assert tcs.current_ssa == 1
+    world.eresume(enclave, tcs)
+    assert tcs.current_ssa == 0
+
+
+def test_switch_counters(platform):
+    machine, boot = platform
+    eid, enclave = build_minimal_enclave(boot.monitor, machine,
+                                         with_msbuf=False)
+    world = boot.monitor.world
+    enters, exits = world.enters, world.exits
+    tcs = enclave.acquire_tcs()
+    world.eenter(enclave, tcs, AEP)
+    world.eexit(enclave, AEP)
+    assert (world.enters, world.exits) == (enters + 1, exits + 1)
+
+
+def test_reentry_after_eexit_allowed(platform):
+    machine, boot = platform
+    eid, enclave = build_minimal_enclave(boot.monitor, machine,
+                                         with_msbuf=False)
+    world = boot.monitor.world
+    tcs = enclave.acquire_tcs()
+    for _ in range(3):
+        world.eenter(enclave, tcs, AEP)
+        world.eexit(enclave, AEP)
+    assert machine.cpu.mode is CpuMode.GUEST_USER

@@ -1,0 +1,22 @@
+"""Fixtures: a booted machine with kernel + kernel module."""
+
+import pytest
+
+from repro.hw.machine import Machine, MachineConfig
+from repro.monitor.boot import measured_late_launch
+from repro.osim.kernel import Kernel
+from repro.osim.kmod import HyperEnclaveDevice
+
+
+@pytest.fixture
+def system():
+    machine = Machine(MachineConfig(
+        phys_size=512 * 1024 * 1024,
+        reserved_base=256 * 1024 * 1024,
+        reserved_size=128 * 1024 * 1024,
+    ))
+    boot = measured_late_launch(machine,
+                                monitor_private_size=32 * 1024 * 1024)
+    kernel = Kernel(machine, boot.monitor)
+    device = HyperEnclaveDevice(kernel, boot.monitor)
+    return machine, boot, kernel, device

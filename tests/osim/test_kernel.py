@@ -1,0 +1,170 @@
+"""Tests for the primary-OS kernel: processes, mmap, signals, policing."""
+
+import pytest
+
+from repro.errors import OsError, PageFault, SecurityViolation
+from repro.hw.phys import PAGE_SIZE
+
+
+class TestProcesses:
+    def test_spawn_assigns_pids(self, system):
+        _, _, kernel, _ = system
+        p1, p2 = kernel.spawn(), kernel.spawn()
+        assert p1.pid != p2.pid
+
+    def test_exit_releases_memory(self, system):
+        _, _, kernel, _ = system
+        before = kernel.frame_pool.free_pages
+        p = kernel.spawn()
+        kernel.mmap(p, 4 * PAGE_SIZE, populate=True)
+        kernel.exit(p)
+        assert kernel.frame_pool.free_pages == before
+
+    def test_dead_process_cannot_translate(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        vma = kernel.mmap(p, PAGE_SIZE, populate=True)
+        kernel.exit(p)
+        with pytest.raises(OsError):
+            p.translate(vma.start)
+
+    def test_schedule_round_robin(self, system):
+        _, _, kernel, _ = system
+        p1, p2 = kernel.spawn(), kernel.spawn()
+        order = [kernel.schedule().pid for _ in range(4)]
+        assert order == [p1.pid, p2.pid, p1.pid, p2.pid]
+
+    def test_schedule_empty_queue(self, system):
+        _, _, kernel, _ = system
+        assert kernel.schedule() is None
+
+
+class TestMmap:
+    def test_populate_commits_frames(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        vma = kernel.mmap(p, 2 * PAGE_SIZE, populate=True)
+        assert len(vma.frames) == 2
+        assert p.translate(vma.start)
+
+    def test_lazy_mmap_faults_then_commits(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        vma = kernel.mmap(p, 2 * PAGE_SIZE, populate=False)
+        with pytest.raises(PageFault):
+            p.translate(vma.start)
+        kernel.handle_user_fault(p, vma.start)
+        assert p.translate(vma.start)
+
+    def test_bad_size_rejected(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        with pytest.raises(OsError):
+            kernel.mmap(p, 123)
+
+    def test_overlap_rejected(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        vma = kernel.mmap(p, PAGE_SIZE, populate=True)
+        with pytest.raises(OsError):
+            kernel.mmap(p, PAGE_SIZE, addr=vma.start)
+
+    def test_munmap_releases(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        # Warm the page-table path so intermediate table frames (which
+        # persist until the process exits) don't skew the count.
+        warm = kernel.mmap(p, PAGE_SIZE, populate=True)
+        kernel.munmap(p, warm)
+        before = kernel.frame_pool.free_pages
+        vma = kernel.mmap(p, PAGE_SIZE, populate=True, addr=warm.start)
+        kernel.munmap(p, vma)
+        assert kernel.frame_pool.free_pages == before
+        with pytest.raises(PageFault):
+            p.translate(vma.start)
+
+    def test_pinned_vma_cannot_be_unmapped(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        vma = kernel.mmap(p, PAGE_SIZE, populate=True)
+        kernel.pin(p, vma)
+        with pytest.raises(OsError):
+            kernel.munmap(p, vma)
+
+    def test_pin_requires_populated(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        vma = kernel.mmap(p, PAGE_SIZE, populate=False)
+        with pytest.raises(OsError):
+            kernel.pin(p, vma)
+
+    def test_write_fault_on_readonly_vma(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        vma = kernel.mmap(p, PAGE_SIZE, writable=False, populate=False)
+        with pytest.raises(PageFault):
+            kernel.handle_user_fault(p, vma.start, write=True)
+
+
+class TestUserMemory:
+    def test_read_write_roundtrip(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        vma = kernel.mmap(p, PAGE_SIZE, populate=True)
+        kernel.user_write(p, vma.start + 10, b"hello user")
+        assert kernel.user_read(p, vma.start + 10, 10) == b"hello user"
+
+    def test_demand_paging_on_write(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        vma = kernel.mmap(p, 4 * PAGE_SIZE, populate=False)
+        kernel.user_write(p, vma.start + PAGE_SIZE, b"lazy")
+        assert kernel.user_read(p, vma.start + PAGE_SIZE, 4) == b"lazy"
+
+    def test_cross_page_write(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        vma = kernel.mmap(p, 2 * PAGE_SIZE, populate=True)
+        data = bytes(range(100))
+        kernel.user_write(p, vma.start + PAGE_SIZE - 50, data)
+        assert kernel.user_read(p, vma.start + PAGE_SIZE - 50, 100) == data
+
+    def test_os_cannot_map_user_page_at_enclave_frame(self, system):
+        """R-1: even if the OS forges a PTE to an enclave frame, the
+        physical access is blocked."""
+        machine, boot, kernel, _ = system
+        from tests.monitor.conftest import build_minimal_enclave
+        eid, enclave = build_minimal_enclave(boot.monitor, machine)
+        p = kernel.spawn()
+        vma = kernel.mmap(p, PAGE_SIZE, populate=True)
+        # Malicious kernel: remap the user page onto the enclave's frame.
+        from repro.hw.paging import PageTableFlags
+        p.pt.unmap(vma.start)
+        p.pt.map(vma.start, enclave.pages[0].pa, PageTableFlags.URW)
+        with pytest.raises(SecurityViolation):
+            kernel.user_read(p, vma.start, 8)
+
+
+class TestSignals:
+    def test_delivery_to_handler(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        seen = {}
+        p.register_signal_handler(4, lambda **info: seen.update(info))
+        kernel.deliver_signal(p, 4, vector=6)
+        assert seen == {"vector": 6}
+
+    def test_unhandled_signal_kills(self, system):
+        _, _, kernel, _ = system
+        p = kernel.spawn()
+        with pytest.raises(OsError, match="killed"):
+            kernel.deliver_signal(p, 11)
+
+    def test_signal_charges_dispatch_cost(self, system):
+        from repro.hw import costs
+        machine, _, kernel, _ = system
+        p = kernel.spawn()
+        p.register_signal_handler(4, lambda **info: None)
+        with machine.cycles.measure() as span:
+            kernel.deliver_signal(p, 4)
+        assert span.elapsed == costs.OS_SIGNAL_DISPATCH

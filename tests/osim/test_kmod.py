@@ -1,0 +1,71 @@
+"""Tests for the /dev/hyper_enclave kernel module."""
+
+import pytest
+
+from repro.errors import OsError
+from repro.hw.phys import PAGE_SIZE
+from repro.monitor.structs import EnclaveConfig, PagePerm, PageType
+from repro.osim.kmod import Ioctl
+
+
+@pytest.fixture
+def proc(system):
+    _, _, kernel, _ = system
+    return kernel.spawn()
+
+
+def test_ecreate_via_ioctl(system, proc):
+    _, boot, _, device = system
+    eid = device.ioctl(proc, Ioctl.ECREATE, config=EnclaveConfig(),
+                       size=16 * PAGE_SIZE)
+    assert eid in boot.monitor.enclaves
+
+
+def test_full_lifecycle_via_ioctls(system, proc):
+    machine, boot, kernel, device = system
+    from repro.monitor.enclave import ENCLAVE_BASE_VA
+    from repro.monitor.structs import Sigstruct
+    from tests.monitor.conftest import VENDOR_KEY
+
+    eid = device.ioctl(proc, Ioctl.ECREATE, config=EnclaveConfig(),
+                       size=32 * PAGE_SIZE)
+    device.ioctl(proc, Ioctl.EADD, enclave_id=eid, offset=0,
+                 content=b"code", page_type=PageType.REG,
+                 perms=PagePerm.RX)
+    device.ioctl(proc, Ioctl.ADD_TCS, enclave_id=eid, offset=PAGE_SIZE,
+                 entry_va=ENCLAVE_BASE_VA)
+    device.ioctl(proc, Ioctl.RESERVE_REGION, enclave_id=eid,
+                 start_va=ENCLAVE_BASE_VA + 16 * PAGE_SIZE,
+                 size=8 * PAGE_SIZE)
+    mrenclave = boot.monitor.enclaves[eid].measurement.finalize()
+    device.ioctl(proc, Ioctl.EINIT, enclave_id=eid,
+                 sigstruct=Sigstruct.sign(mrenclave, VENDOR_KEY))
+    assert boot.monitor.enclaves[eid].secs.mrenclave == mrenclave
+    device.ioctl(proc, Ioctl.EREMOVE, enclave_id=eid)
+    assert eid not in boot.monitor.enclaves
+
+
+def test_pin_buffer_ioctl(system, proc):
+    _, _, kernel, device = system
+    vma = kernel.mmap(proc, PAGE_SIZE, populate=True)
+    device.ioctl(proc, Ioctl.PIN_BUFFER, vma=vma)
+    assert vma.pinned
+
+
+def test_unknown_ioctl_rejected(system, proc):
+    _, _, _, device = system
+    with pytest.raises(OsError):
+        device.ioctl(proc, "IOCTL_MAGIC_0xBEEF")
+
+
+def test_every_ioctl_is_a_syscall(system, proc):
+    _, _, kernel, device = system
+    before = kernel.syscalls
+    device.ioctl(proc, Ioctl.ECREATE, config=EnclaveConfig(),
+                 size=16 * PAGE_SIZE)
+    assert kernel.syscalls == before + 1
+
+
+def test_device_path():
+    from repro.osim.kmod import HyperEnclaveDevice
+    assert HyperEnclaveDevice.path == "/dev/hyper_enclave"

@@ -1,0 +1,105 @@
+"""Tests for the loopback network and the VFS."""
+
+import pytest
+
+from repro.errors import OsError
+from repro.osim.net import Loopback
+from repro.osim.vfs import Vfs
+
+
+class TestLoopback:
+    @pytest.fixture
+    def net(self, system):
+        machine, *_ = system
+        return Loopback(machine)
+
+    def test_connect_accept_roundtrip(self, net):
+        net.listen(80)
+        client = net.connect(80)
+        server = net.accept(80)
+        assert server is client
+
+    def test_send_recv_both_directions(self, net):
+        net.listen(80)
+        conn = net.connect(80)
+        net.accept(80)
+        net.send(conn, b"GET /", from_client=True)
+        assert net.recv(conn, from_client=True) == b"GET /"
+        net.send(conn, b"200 OK", from_client=False)
+        assert net.recv(conn, from_client=False) == b"200 OK"
+
+    def test_recv_empty_returns_none(self, net):
+        net.listen(80)
+        conn = net.connect(80)
+        assert net.recv(conn, from_client=True) is None
+
+    def test_connection_refused(self, net):
+        with pytest.raises(OsError):
+            net.connect(9999)
+
+    def test_double_bind_rejected(self, net):
+        net.listen(80)
+        with pytest.raises(OsError):
+            net.listen(80)
+
+    def test_accept_without_pending(self, net):
+        net.listen(80)
+        assert not net.has_pending(80)
+        with pytest.raises(OsError):
+            net.accept(80)
+
+    def test_closed_connection_rejects_send(self, net):
+        net.listen(80)
+        conn = net.connect(80)
+        conn.close()
+        with pytest.raises(OsError):
+            net.send(conn, b"x", from_client=True)
+
+    def test_send_charges_netstack(self, net, system):
+        machine, *_ = system
+        net.listen(80)
+        conn = net.connect(80)
+        with machine.cycles.measure() as span:
+            net.send(conn, b"x" * 1000, from_client=True)
+        assert span.categories.get("netstack", 0) > 0
+
+
+class TestVfs:
+    def test_write_read_roundtrip(self):
+        vfs = Vfs()
+        vfs.write_file("/index.html", b"<html>")
+        assert vfs.read_file("/index.html") == b"<html>"
+
+    def test_missing_file(self):
+        with pytest.raises(OsError):
+            Vfs().read_file("/nope")
+
+    def test_stat(self):
+        vfs = Vfs()
+        vfs.write_file("/a", b"12345")
+        assert vfs.stat("/a") == 5
+
+    def test_unlink(self):
+        vfs = Vfs()
+        vfs.write_file("/a", b"1")
+        vfs.unlink("/a")
+        assert not vfs.exists("/a")
+        with pytest.raises(OsError):
+            vfs.unlink("/a")
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(OsError):
+            Vfs().write_file("etc/passwd", b"")
+
+    def test_listdir_sorted(self):
+        vfs = Vfs()
+        vfs.write_file("/b", b"")
+        vfs.write_file("/a", b"")
+        assert vfs.listdir() == ["/a", "/b"]
+
+    def test_charge_callback_used(self):
+        charges = []
+        vfs = Vfs(charge=lambda cycles, cat: charges.append((cycles, cat)))
+        vfs.write_file("/a", b"data")
+        vfs.read_file("/a")
+        assert charges

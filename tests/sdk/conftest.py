@@ -1,0 +1,142 @@
+"""Fixtures: platforms and a demo enclave image used across SDK tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.machine import MachineConfig
+from repro.monitor.structs import EnclaveConfig, EnclaveMode
+from repro.platform import TeePlatform
+from repro.sdk.image import EnclaveImage
+
+SMALL = MachineConfig(
+    phys_size=1024 * 1024 * 1024,
+    reserved_base=512 * 1024 * 1024,
+    reserved_size=256 * 1024 * 1024,
+)
+
+DEMO_EDL = """
+enclave {
+    trusted {
+        public uint64 add_numbers(uint64 a, uint64 b);
+        public uint64 sum_bytes([in, size=n] bytes data, uint64 n);
+        public uint64 fill_pattern([out, size=n] bytes buf, uint64 n);
+        public uint64 increment_all([in, out, size=n] bytes buf, uint64 n);
+        public uint64 echo_through_ocall([in, size=n] bytes data, uint64 n);
+        public uint64 read_user([user_check] bytes ptr, uint64 n);
+        public uint64 store_secret([in, size=n] bytes secret, uint64 n);
+        public uint64 check_secret([in, size=n] bytes guess, uint64 n);
+        uint64 private_entry();
+    };
+    untrusted {
+        uint64 ocall_sink([in, size=n] bytes data, uint64 n);
+        uint64 ocall_source([out, size=n] bytes data, uint64 n);
+        uint64 ocall_transform([in, out, size=n] bytes data, uint64 n);
+        uint64 ocall_nop();
+    };
+};
+"""
+
+
+def t_add_numbers(ctx, a, b):
+    return (a + b) & (2**64 - 1)
+
+
+def t_sum_bytes(ctx, data, n):
+    ctx.compute(n)
+    return sum(data)
+
+
+def t_fill_pattern(ctx, buf, n):
+    for i in range(n):
+        buf[i] = (i * 7) & 0xFF
+    return n
+
+
+def t_increment_all(ctx, buf, n):
+    for i in range(n):
+        buf[i] = (buf[i] + 1) & 0xFF
+    return n
+
+
+def t_echo_through_ocall(ctx, data, n):
+    ret = ctx.ocall("ocall_sink", data=data, n=n)
+    return ret
+
+
+def t_read_user(ctx, ptr, n):
+    data = ctx.copy_from_user(ptr, n)
+    return sum(data)
+
+
+def t_store_secret(ctx, secret, n):
+    va = ctx.malloc(n)
+    ctx.write(va, secret)
+    ctx.globals["secret_va"] = va
+    ctx.globals["secret_len"] = n
+    return 0
+
+
+def t_check_secret(ctx, guess, n):
+    va = ctx.globals.get("secret_va")
+    if va is None:
+        return 0
+    stored = ctx.read(va, ctx.globals["secret_len"])
+    return 1 if stored == guess else 0
+
+
+TRUSTED = {
+    "add_numbers": t_add_numbers,
+    "sum_bytes": t_sum_bytes,
+    "fill_pattern": t_fill_pattern,
+    "increment_all": t_increment_all,
+    "echo_through_ocall": t_echo_through_ocall,
+    "read_user": t_read_user,
+    "store_secret": t_store_secret,
+    "check_secret": t_check_secret,
+}
+
+
+def demo_image(mode: EnclaveMode = EnclaveMode.GU) -> EnclaveImage:
+    return EnclaveImage.build(
+        "demo", DEMO_EDL, dict(TRUSTED),
+        EnclaveConfig(mode=mode, heap_size=1024 * 1024,
+                      stack_size=64 * 1024, tcs_count=2,
+                      marshalling_buffer_size=256 * 1024))
+
+
+@pytest.fixture(scope="module")
+def he_platform():
+    return TeePlatform.hyperenclave(SMALL)
+
+
+@pytest.fixture(scope="module")
+def sgx_platform():
+    return TeePlatform.intel_sgx(SMALL)
+
+
+@pytest.fixture
+def he_handle(he_platform):
+    handle = he_platform.load_enclave(demo_image())
+    _register_ocalls(handle)
+    yield handle
+    handle.destroy()
+
+
+@pytest.fixture
+def sgx_handle(sgx_platform):
+    handle = sgx_platform.load_enclave(demo_image())
+    _register_ocalls(handle)
+    yield handle
+    handle.destroy()
+
+
+def _register_ocalls(handle):
+    handle.register_ocall("ocall_sink", lambda data, n: sum(data) & 0xFFFF)
+    handle.register_ocall(
+        "ocall_source",
+        lambda data, n: (n, {"data": bytes(i & 0xFF for i in range(n))}))
+    handle.register_ocall(
+        "ocall_transform",
+        lambda data, n: (n, {"data": bytes((b ^ 0xFF) for b in data)}))
+    handle.register_ocall("ocall_nop", lambda: 0)

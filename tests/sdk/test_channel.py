@@ -1,0 +1,140 @@
+"""Tests for the attested secure channel between enclaves."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto import dh
+from repro.errors import (AttestationError, SealError, SecurityViolation)
+from repro.sdk.channel import SecureChannel, establish_pair
+
+from .conftest import demo_image
+
+
+@pytest.fixture
+def pair(he_platform):
+    image_a = demo_image()
+    image_a.name = "channel-a"
+    image_b = demo_image()
+    image_b.name = "channel-b"
+    a = he_platform.load_enclave(image_a)
+    b = he_platform.load_enclave(image_b)
+    yield a, b
+    a.destroy()
+    b.destroy()
+
+
+class TestDh:
+    def test_shared_secret_agreement(self):
+        a = dh.generate_keypair(b"entropy-a" * 4)
+        b = dh.generate_keypair(b"entropy-b" * 4)
+        assert a.shared_secret(b.public) == b.shared_secret(a.public)
+
+    def test_different_pairs_different_secrets(self):
+        a = dh.generate_keypair(b"entropy-a" * 4)
+        b = dh.generate_keypair(b"entropy-b" * 4)
+        c = dh.generate_keypair(b"entropy-c" * 4)
+        assert a.shared_secret(b.public) != a.shared_secret(c.public)
+
+    def test_degenerate_public_rejected(self):
+        a = dh.generate_keypair(b"entropy-a" * 4)
+        with pytest.raises(ValueError):
+            a.shared_secret(1)
+        with pytest.raises(ValueError):
+            a.shared_secret(dh.P - 1)
+
+    def test_weak_entropy_rejected(self):
+        with pytest.raises(ValueError):
+            dh.generate_keypair(b"short")
+
+
+class TestHandshake:
+    def test_establish_and_exchange(self, pair):
+        a, b = pair
+        chan_a, chan_b = establish_pair(a.ctx, b.ctx)
+        assert chan_a.established and chan_b.established
+        record = chan_a.send(b"confidential payload")
+        assert b"confidential payload" not in record
+        assert chan_b.recv(record) == b"confidential payload"
+        # And the other direction.
+        assert chan_a.recv(chan_b.send(b"reply")) == b"reply"
+
+    def test_mitm_key_substitution_detected(self, pair):
+        """The OS swaps in its own DH public value: the report binding
+        no longer matches, so the handshake aborts."""
+        a, b = pair
+        chan_a = SecureChannel(a.ctx, b.ctx.enclave.secs.mrenclave)
+        chan_b = SecureChannel(b.ctx, a.ctx.enclave.secs.mrenclave)
+        flight_a = chan_a.initiate()
+        mitm = dh.generate_keypair(b"attacker-entropy" * 2)
+        forged = dataclasses.replace(flight_a, dh_public=mitm.public) \
+            if dataclasses.is_dataclass(flight_a) else flight_a
+        forged.dh_public = mitm.public
+        with pytest.raises(SecurityViolation, match="substituted"):
+            chan_b.complete(forged)
+
+    def test_wrong_peer_enclave_rejected(self, pair, he_platform):
+        a, b = pair
+        imposter_image = demo_image()
+        imposter_image.name = "imposter"
+        imposter = he_platform.load_enclave(imposter_image)
+        # The imposter handshakes with B, claiming to be... itself; B
+        # expected A's MRENCLAVE.
+        chan_b = SecureChannel(b.ctx, a.ctx.enclave.secs.mrenclave)
+        chan_i = SecureChannel(imposter.ctx, b.ctx.enclave.secs.mrenclave)
+        with pytest.raises(AttestationError):
+            chan_b.complete(chan_i.initiate())
+        imposter.destroy()
+
+    def test_send_before_establish_rejected(self, pair):
+        a, b = pair
+        chan = SecureChannel(a.ctx, b.ctx.enclave.secs.mrenclave)
+        with pytest.raises(SecurityViolation):
+            chan.send(b"too early")
+
+
+class TestRecords:
+    @pytest.fixture
+    def channels(self, pair):
+        a, b = pair
+        return establish_pair(a.ctx, b.ctx)
+
+    def test_tampered_record_rejected(self, channels):
+        chan_a, chan_b = channels
+        record = bytearray(chan_a.send(b"data"))
+        record[-1] ^= 1
+        with pytest.raises(SealError):
+            chan_b.recv(bytes(record))
+
+    def test_replay_rejected(self, channels):
+        chan_a, chan_b = channels
+        record = chan_a.send(b"once")
+        chan_b.recv(record)
+        with pytest.raises(SecurityViolation, match="replay"):
+            chan_b.recv(record)
+
+    def test_reorder_rejected(self, channels):
+        chan_a, chan_b = channels
+        first = chan_a.send(b"one")
+        second = chan_a.send(b"two")
+        with pytest.raises(SecurityViolation, match="replay|reorder"):
+            chan_b.recv(second)
+        chan_b.recv(first)
+
+    def test_truncated_record_rejected(self, channels):
+        _, chan_b = channels
+        with pytest.raises(SealError):
+            chan_b.recv(b"\x00" * 4)
+
+    def test_third_party_cannot_decrypt(self, pair, he_platform):
+        a, b = pair
+        chan_a, chan_b = establish_pair(a.ctx, b.ctx)
+        eve_image = demo_image()
+        eve_image.name = "eve"
+        eve = he_platform.load_enclave(eve_image)
+        chan_e = SecureChannel(eve.ctx, a.ctx.enclave.secs.mrenclave)
+        chan_e._session_key = b"\x00" * 32       # guessing
+        record = chan_a.send(b"secret")
+        with pytest.raises(SealError):
+            chan_e.recv(record)
+        eve.destroy()

@@ -1,0 +1,105 @@
+"""Tests for SGX-style XML enclave configuration."""
+
+import pytest
+
+from repro.errors import SdkError
+from repro.monitor.structs import EnclaveMode
+from repro.sdk.config_xml import parse_config_xml
+from repro.sdk.image import EnclaveImage
+
+FULL = """
+<EnclaveConfiguration>
+  <ProdID>7</ProdID>
+  <ISVSVN>3</ISVSVN>
+  <HeapMaxSize>0x400000</HeapMaxSize>
+  <StackMaxSize>0x40000</StackMaxSize>
+  <TCSNum>4</TCSNum>
+  <SSAFrameNum>2</SSAFrameNum>
+  <MarshallingBufferSize>0x20000</MarshallingBufferSize>
+  <EnclaveMode>HU</EnclaveMode>
+  <DisableDebug>1</DisableDebug>
+</EnclaveConfiguration>
+"""
+
+
+def test_full_config_parses():
+    parsed = parse_config_xml(FULL)
+    assert parsed.prod_id == 7
+    assert parsed.isv_svn == 3
+    c = parsed.config
+    assert c.heap_size == 0x400000
+    assert c.stack_size == 0x40000
+    assert c.tcs_count == 4
+    assert c.ssa_frames_per_tcs == 2
+    assert c.marshalling_buffer_size == 0x20000
+    assert c.mode is EnclaveMode.HU
+    assert c.debug is False
+
+
+def test_defaults_when_elements_omitted():
+    parsed = parse_config_xml("<EnclaveConfiguration></EnclaveConfiguration>")
+    assert parsed.config.mode is EnclaveMode.GU
+    assert parsed.prod_id == 0
+
+
+def test_decimal_and_hex_accepted():
+    parsed = parse_config_xml(
+        "<EnclaveConfiguration><TCSNum>8</TCSNum>"
+        "<HeapMaxSize>0x100000</HeapMaxSize></EnclaveConfiguration>")
+    assert parsed.config.tcs_count == 8
+    assert parsed.config.heap_size == 0x100000
+
+
+@pytest.mark.parametrize("bad,match", [
+    ("<Wrong/>", "EnclaveConfiguration"),
+    ("not xml at all <", "malformed"),
+    ("<EnclaveConfiguration><Bogus>1</Bogus></EnclaveConfiguration>",
+     "unknown"),
+    ("<EnclaveConfiguration><TCSNum>four</TCSNum></EnclaveConfiguration>",
+     "integer"),
+    ("<EnclaveConfiguration><EnclaveMode>TURBO</EnclaveMode>"
+     "</EnclaveConfiguration>", "unknown mode"),
+    ("<EnclaveConfiguration><EnclaveMode>SGX</EnclaveMode>"
+     "</EnclaveConfiguration>", "reserved"),
+])
+def test_rejects_malformed(bad, match):
+    with pytest.raises(SdkError, match=match):
+        parse_config_xml(bad)
+
+
+def test_invalid_sizes_rejected_by_config():
+    from repro.errors import EnclaveError
+    with pytest.raises(EnclaveError):
+        parse_config_xml("<EnclaveConfiguration>"
+                         "<HeapMaxSize>100</HeapMaxSize>"
+                         "</EnclaveConfiguration>")
+
+
+class TestImageIntegration:
+    EDL = "enclave { trusted { public uint64 f(); }; untrusted { }; };"
+
+    def test_build_from_xml(self):
+        image = EnclaveImage.build("xml-img", self.EDL,
+                                   {"f": lambda ctx: 1},
+                                   config_xml=FULL)
+        assert image.config.mode is EnclaveMode.HU
+        assert image.isv_prod_id == 7
+        assert image.isv_svn == 3
+
+    def test_both_configs_rejected(self):
+        from repro.monitor.structs import EnclaveConfig
+        with pytest.raises(SdkError, match="not both"):
+            EnclaveImage.build("x", self.EDL, {"f": lambda ctx: 1},
+                               EnclaveConfig(), config_xml=FULL)
+
+    def test_xml_image_loads_and_runs(self):
+        from repro.platform import TeePlatform
+        from tests.sdk.conftest import SMALL
+        platform = TeePlatform.hyperenclave(SMALL)
+        image = EnclaveImage.build("xml-live", self.EDL,
+                                   {"f": lambda ctx: 99},
+                                   config_xml=FULL)
+        handle = platform.load_enclave(image)
+        assert handle.proxies.f() == 99
+        assert handle.enclave.secs.isv_prod_id == 7
+        handle.destroy()

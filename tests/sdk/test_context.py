@@ -1,0 +1,137 @@
+"""Tests for EnclaveContext services: memory, sealing, reports, user_check."""
+
+import pytest
+
+from repro.errors import SdkError, SealError, SecurityViolation
+from repro.monitor.sealing import SealPolicy
+from repro.monitor.structs import EnclaveMode
+from repro.platform import TeePlatform
+
+from .conftest import SMALL, demo_image
+
+
+@pytest.fixture
+def ctx(he_handle):
+    return he_handle.ctx
+
+
+class TestEnclaveMemory:
+    def test_malloc_write_read(self, ctx):
+        va = ctx.malloc(100)
+        ctx.write(va, b"x" * 100)
+        assert ctx.read(va, 100) == b"x" * 100
+
+    def test_heap_demand_commits(self, ctx, he_handle):
+        pages_before = len(he_handle.enclave.pages)
+        va = ctx.malloc(3 * 4096)
+        ctx.write(va, b"z" * (3 * 4096))
+        assert len(he_handle.enclave.pages) > pages_before
+
+    def test_heap_exhaustion(self, ctx):
+        with pytest.raises(SdkError, match="heap"):
+            ctx.malloc(1 << 40)
+
+    def test_malloc_zero_rejected(self, ctx):
+        with pytest.raises(SdkError):
+            ctx.malloc(0)
+
+    def test_heap_reset(self, ctx):
+        va1 = ctx.malloc(64)
+        ctx.heap_reset()
+        assert ctx.malloc(64) == va1
+
+    def test_cross_page_write(self, ctx):
+        va = ctx.malloc(2 * 4096)
+        data = bytes(range(256)) * 32   # 8 KB
+        ctx.write(va, data)
+        assert ctx.read(va, len(data)) == data
+
+    def test_reads_charge_cycles(self, ctx, he_platform):
+        va = ctx.malloc(64)
+        ctx.write(va, b"a" * 64)
+        with he_platform.cycles.measure() as span:
+            ctx.read(va, 64)
+        assert span.elapsed > 0
+
+
+class TestSealing:
+    def test_roundtrip(self, ctx):
+        blob = ctx.seal_data(b"api key", aad=b"v1")
+        assert ctx.unseal_data(blob, aad=b"v1") == b"api key"
+
+    def test_wrong_aad_fails(self, ctx):
+        blob = ctx.seal_data(b"api key", aad=b"v1")
+        with pytest.raises(SealError):
+            ctx.unseal_data(blob, aad=b"v2")
+
+    def test_other_enclave_cannot_unseal(self, he_platform, he_handle):
+        blob = he_handle.ctx.seal_data(b"mine")
+        other_image = demo_image()
+        other_image.name = "other-enclave"
+        other = he_platform.load_enclave(other_image)
+        with pytest.raises(SealError):
+            other.ctx.unseal_data(blob)
+        other.destroy()
+
+    def test_mrsigner_policy_shares_across_enclaves(self, he_platform,
+                                                    he_handle):
+        blob = he_handle.ctx.seal_data(b"shared", policy=SealPolicy.MRSIGNER)
+        other_image = demo_image()
+        other_image.name = "sibling-enclave"
+        other = he_platform.load_enclave(other_image)
+        assert other.ctx.unseal_data(blob) == b"shared"
+        other.destroy()
+
+    def test_tampered_blob_fails(self, ctx):
+        blob = bytearray(ctx.seal_data(b"data"))
+        blob[-1] ^= 1
+        with pytest.raises(SealError):
+            ctx.unseal_data(bytes(blob))
+
+
+class TestAttestation:
+    def test_local_report_between_enclaves(self, he_platform, he_handle):
+        other_image = demo_image()
+        other_image.name = "verifier-enclave"
+        other = he_platform.load_enclave(other_image)
+        report = he_handle.ctx.create_report(
+            other.enclave.secs.mrenclave, b"channel-binding")
+        assert other.ctx.verify_report(report)
+        other.destroy()
+
+    def test_quote_verifies(self, he_platform, he_handle):
+        from repro.monitor.attestation import QuoteVerifier
+        quote = he_handle.ctx.get_quote(b"report data", b"nonce-1")
+        verifier = QuoteVerifier(he_platform.boot.golden)
+        report = verifier.verify(
+            quote, expected_mrenclave=he_handle.enclave.secs.mrenclave,
+            expected_nonce=b"nonce-1")
+        assert report.report_data == b"report data"
+
+    def test_random_is_random(self, ctx):
+        assert ctx.random(16) != ctx.random(16)
+
+
+class TestUserCheck:
+    def test_user_check_within_msbuf_allowed(self, he_handle):
+        va = he_handle.msbuf_user_alloc(64)
+        he_handle.app_write(va, bytes([5] * 64))
+        assert he_handle.proxies.read_user(ptr=va, n=64) == 5 * 64
+
+    def test_user_check_outside_msbuf_blocked(self, he_handle):
+        # Arbitrary app heap memory: unreachable from a HyperEnclave enclave.
+        vma = he_handle.kernel.mmap(he_handle.process, 4096, populate=True)
+        he_handle.app_write(vma.start, bytes([9] * 16))
+        with pytest.raises(SecurityViolation):
+            he_handle.proxies.read_user(ptr=vma.start, n=16)
+
+    def test_user_check_on_sgx_reaches_everything(self, sgx_handle):
+        """On the SGX baseline, user_check pointers reach the whole app
+        address space (the behaviour enclave malware abuses)."""
+        vma = sgx_handle.kernel.mmap(sgx_handle.process, 4096, populate=True)
+        sgx_handle.app_write(vma.start, bytes([9] * 16))
+        assert sgx_handle.proxies.read_user(ptr=vma.start, n=16) == 9 * 16
+
+    def test_msbuf_user_region_exhaustion(self, he_handle):
+        with pytest.raises(SdkError):
+            he_handle.msbuf_user_alloc(he_handle.msbuf_vma.size)

@@ -1,0 +1,205 @@
+"""Tests for ECALL/OCALL marshalling semantics and their calibrated costs."""
+
+import pytest
+
+from repro.errors import SdkError, SecurityViolation
+from repro.hw import costs
+from repro.monitor.structs import EnclaveMode
+from repro.platform import TeePlatform
+
+from .conftest import SMALL, demo_image
+
+
+class TestEcallSemantics:
+    def test_scalars(self, he_handle):
+        assert he_handle.proxies.add_numbers(a=20, b=22) == 42
+
+    def test_in_buffer(self, he_handle):
+        assert he_handle.proxies.sum_bytes(data=b"\x01\x02\x03", n=3) == 6
+
+    def test_out_buffer(self, he_handle):
+        ret, outs = he_handle.proxies.fill_pattern(n=16)
+        assert ret == 16
+        assert outs["buf"] == bytes((i * 7) & 0xFF for i in range(16))
+
+    def test_inout_buffer(self, he_handle):
+        ret, outs = he_handle.proxies.increment_all(buf=b"\x00\x01\xFF", n=3)
+        assert outs["buf"] == b"\x01\x02\x00"
+
+    def test_private_ecall_blocked(self, he_handle):
+        with pytest.raises(SecurityViolation):
+            he_handle.ecall("private_entry")
+
+    def test_unknown_ecall(self, he_handle):
+        from repro.errors import EdlError
+        with pytest.raises(EdlError):
+            he_handle.ecall("nonexistent")
+
+    def test_size_mismatch_rejected(self, he_handle):
+        with pytest.raises(SdkError):
+            he_handle.proxies.sum_bytes(data=b"\x01\x02", n=5)
+
+    def test_missing_argument_rejected(self, he_handle):
+        with pytest.raises(SdkError):
+            he_handle.proxies.sum_bytes(data=b"\x01")
+
+    def test_unknown_argument_rejected(self, he_handle):
+        with pytest.raises(SdkError):
+            he_handle.proxies.add_numbers(a=1, b=2, c=3)
+
+    def test_oversized_payload_overflows_msbuf(self, he_handle):
+        big = he_handle.msbuf_vma.size   # larger than the ECALL region
+        with pytest.raises(SdkError, match="overflow"):
+            he_handle.proxies.sum_bytes(data=b"\x00" * big, n=big)
+
+    def test_enclave_state_persists_across_ecalls(self, he_handle):
+        he_handle.proxies.store_secret(secret=b"hunter2", n=7)
+        assert he_handle.proxies.check_secret(guess=b"hunter2", n=7) == 1
+        assert he_handle.proxies.check_secret(guess=b"hunter1", n=7) == 0
+
+    def test_destroyed_enclave_rejects_ecalls(self, he_platform):
+        handle = he_platform.load_enclave(demo_image())
+        handle.destroy()
+        with pytest.raises(SdkError):
+            handle.proxies.add_numbers(a=1, b=2)
+
+    def test_concurrent_tcs_exhaustion(self, he_handle):
+        """Each ECALL takes a TCS; a recursive ECALL from an OCALL would
+        need a second, and the config has two."""
+        tcs1 = he_handle.enclave.acquire_tcs()
+        tcs2 = he_handle.enclave.acquire_tcs()
+        from repro.errors import EnclaveError
+        with pytest.raises(EnclaveError):
+            he_handle.proxies.add_numbers(a=1, b=2)
+        he_handle.enclave.release_tcs(tcs1)
+        he_handle.enclave.release_tcs(tcs2)
+        assert he_handle.proxies.add_numbers(a=1, b=2) == 3
+
+
+class TestOcallSemantics:
+    def test_in_ocall(self, he_handle):
+        # echo_through_ocall forwards the buffer to ocall_sink.
+        assert he_handle.proxies.echo_through_ocall(
+            data=b"\x01\x01\x01", n=3) == 3
+
+    def test_out_ocall(self, he_platform):
+        handle = he_platform.load_enclave(_ocall_out_image())
+        handle.register_ocall(
+            "ocall_source",
+            lambda data, n: (n, {"data": bytes(i & 0xFF for i in range(n))}))
+        assert handle.ecall("pull", n=5) == 0 + 1 + 2 + 3 + 4
+        handle.destroy()
+
+    def test_inout_ocall(self, he_platform):
+        handle = he_platform.load_enclave(_ocall_out_image())
+        handle.register_ocall(
+            "ocall_transform",
+            lambda data, n: (0, {"data": bytes(b ^ 0xFF for b in data)}))
+        assert handle.ecall("flip", n=4) == (0xFF - 1) * 4 + (0 + 1 + 2 + 3)
+        handle.destroy()
+
+    def test_unregistered_ocall_fails(self, he_platform):
+        handle = he_platform.load_enclave(_ocall_out_image())
+        with pytest.raises(SdkError, match="no OCALL implementation"):
+            handle.ecall("pull", n=4)
+        handle.destroy()
+
+    def test_ocall_output_overflow_rejected(self, he_platform):
+        handle = he_platform.load_enclave(_ocall_out_image())
+        handle.register_ocall("ocall_source",
+                              lambda data, n: (0, {"data": b"\x00" * (n + 9)}))
+        with pytest.raises(SdkError, match="larger"):
+            handle.ecall("pull", n=4)
+        handle.destroy()
+
+
+_OCALL_EDL = """
+enclave {
+    trusted {
+        public uint64 pull(uint64 n);
+        public uint64 flip(uint64 n);
+    };
+    untrusted {
+        uint64 ocall_source([out, size=n] bytes data, uint64 n);
+        uint64 ocall_transform([in, out, size=n] bytes data, uint64 n);
+    };
+};
+"""
+
+
+def _pull(ctx, n):
+    _, outs = ctx.ocall("ocall_source", n=n)
+    return sum(outs["data"])
+
+
+def _flip(ctx, n):
+    payload = bytes([1] * n)
+    _, outs = ctx.ocall("ocall_transform", data=payload, n=n)
+    return sum(outs["data"]) + sum(range(n))
+
+
+def _ocall_out_image():
+    from repro.sdk.image import EnclaveImage
+    return EnclaveImage.build("ocaller", _OCALL_EDL,
+                              {"pull": _pull, "flip": _flip})
+
+
+class TestCalibratedCosts:
+    """Empty edge calls must land exactly on the Table 1 numbers."""
+
+    @pytest.mark.parametrize("mode,expected", [
+        (EnclaveMode.GU, 9480), (EnclaveMode.HU, 8440),
+        (EnclaveMode.P, 9700),
+    ])
+    def test_empty_ecall_cost(self, he_platform, mode, expected):
+        handle = he_platform.load_enclave(demo_image(mode))
+        handle.proxies.add_numbers(a=0, b=0)      # warm the path
+        with he_platform.cycles.measure() as span:
+            handle.proxies.add_numbers(a=0, b=0)
+        assert span.elapsed == expected
+        handle.destroy()
+
+    def test_empty_ecall_cost_sgx(self, sgx_platform):
+        handle = sgx_platform.load_enclave(demo_image())
+        handle.proxies.add_numbers(a=0, b=0)
+        with sgx_platform.cycles.measure() as span:
+            handle.proxies.add_numbers(a=0, b=0)
+        assert span.elapsed == 14432
+        handle.destroy()
+
+    @pytest.mark.parametrize("mode,expected", [
+        (EnclaveMode.GU, 4920), (EnclaveMode.HU, 4120),
+        (EnclaveMode.P, 5260),
+    ])
+    def test_empty_ocall_cost(self, he_platform, mode, expected):
+        handle = he_platform.load_enclave(demo_image(mode))
+        handle.register_ocall("ocall_nop", lambda: 0)
+
+        def entry(ctx):
+            with he_platform.cycles.measure() as span:
+                ctx.ocall("ocall_nop")
+            entry.measured = span.elapsed
+            return 0
+
+        # Run the OCALL from inside a real ECALL context.
+        handle.image.trusted_funcs["add_numbers"] = \
+            lambda ctx, a, b: entry(ctx)
+        handle.proxies.add_numbers(a=0, b=0)
+        assert entry.measured == expected
+        handle.destroy()
+
+    def test_empty_ocall_cost_sgx(self, sgx_platform):
+        handle = sgx_platform.load_enclave(demo_image())
+        handle.register_ocall("ocall_nop", lambda: 0)
+
+        def entry(ctx):
+            with sgx_platform.cycles.measure() as span:
+                ctx.ocall("ocall_nop")
+            entry.measured = span.elapsed
+            return 0
+
+        handle.image.trusted_funcs["add_numbers"] = \
+            lambda ctx, a, b: entry(ctx)
+        handle.proxies.add_numbers(a=0, b=0)
+        assert entry.measured == 12432
+        handle.destroy()

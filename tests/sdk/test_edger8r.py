@@ -1,0 +1,97 @@
+"""Tests for the Edger8r proxy generator."""
+
+import pytest
+
+from repro.errors import SdkError
+
+from .conftest import demo_image
+
+
+@pytest.fixture
+def handle(he_platform):
+    h = he_platform.load_enclave(demo_image())
+    yield h
+    h.destroy()
+
+
+def test_only_public_ecalls_get_proxies(handle):
+    assert hasattr(handle.proxies, "add_numbers")
+    assert not hasattr(handle.proxies, "private_entry")
+
+
+def test_no_proxies_for_ocalls(handle):
+    assert not hasattr(handle.proxies, "ocall_sink")
+
+
+def test_proxy_validates_unknown_kwargs(handle):
+    with pytest.raises(SdkError, match="unknown"):
+        handle.proxies.add_numbers(a=1, b=2, zz=3)
+
+
+def test_proxy_validates_missing_kwargs(handle):
+    with pytest.raises(SdkError, match="missing"):
+        handle.proxies.add_numbers(a=1)
+
+
+def test_out_buffers_not_required_as_arguments(handle):
+    # fill_pattern's [out] buffer must not be in the required set.
+    ret, outs = handle.proxies.fill_pattern(n=4)
+    assert "buf" in outs
+
+
+def test_proxy_metadata(handle):
+    assert handle.proxies.add_numbers.__name__ == "add_numbers"
+    assert "ECALL" in handle.proxies.add_numbers.__doc__
+
+
+def test_repr_lists_public_entries(handle):
+    text = repr(handle.proxies)
+    assert "add_numbers" in text
+    assert "private_entry" not in text
+
+
+class TestSourceCodegen:
+    """The sgx_edger8r-style source emitter."""
+
+    def _generated(self, handle):
+        from repro.sdk.edger8r import generate_source, load_generated
+        source = generate_source(handle.image.edl, handle.image.name)
+        module = load_generated(source)
+        module["bind"](handle)
+        return source, module
+
+    def test_source_compiles_and_binds(self, handle):
+        source, module = self._generated(handle)
+        assert "def add_numbers" in source
+        assert module["add_numbers"](a=20, b=22) == 42
+
+    def test_generated_matches_dynamic_proxies(self, handle):
+        _, module = self._generated(handle)
+        assert module["sum_bytes"](data=b"\x01\x02", n=2) == \
+            handle.proxies.sum_bytes(data=b"\x01\x02", n=2)
+
+    def test_private_ecalls_not_emitted(self, handle):
+        source, module = self._generated(handle)
+        assert "private_entry" not in source
+
+    def test_type_checks_in_generated_code(self, handle):
+        _, module = self._generated(handle)
+        with pytest.raises(TypeError, match="expected bytes"):
+            module["sum_bytes"](data=12345, n=2)
+
+    def test_unbound_module_refuses_calls(self, handle):
+        from repro.sdk.edger8r import generate_source, load_generated
+        module = load_generated(
+            generate_source(handle.image.edl, handle.image.name))
+        with pytest.raises(RuntimeError, match="bind"):
+            module["add_numbers"](a=1, b=2)
+
+    def test_ocall_names_listed(self, handle):
+        _, module = self._generated(handle)
+        assert "ocall_sink" in module["OCALL_NAMES"]
+
+    def test_generation_is_deterministic(self, handle):
+        from repro.sdk.edger8r import generate_source
+        a = generate_source(handle.image.edl, handle.image.name)
+        b = generate_source(handle.image.edl, handle.image.name)
+        assert a == b

@@ -1,0 +1,110 @@
+"""Tests for the EDL parser."""
+
+import pytest
+
+from repro.errors import EdlError
+from repro.sdk.edl import Direction, parse_edl
+
+GOOD = """
+enclave {
+    trusted {
+        /* a public entry */
+        public uint64 put([in, size=len] bytes key, uint64 len);
+        public void clear();
+        uint64 internal();  // private helper
+    };
+    untrusted {
+        uint64 ocall_write([in, size=n] bytes data, uint64 n);
+        void ocall_log([string] bytes message);
+        uint64 ocall_read([out, size=n] bytes data, uint64 n);
+        uint64 ocall_raw([user_check] bytes p, uint64 n);
+        uint64 ocall_update([in, out, size=n] bytes data, uint64 n);
+    };
+};
+"""
+
+
+def test_parses_sections():
+    edl = parse_edl(GOOD)
+    assert len(edl.trusted) == 3
+    assert len(edl.untrusted) == 5
+
+
+def test_public_flag():
+    edl = parse_edl(GOOD)
+    assert edl.trusted_by_name("put").public
+    assert not edl.trusted_by_name("internal").public
+
+
+def test_directions():
+    edl = parse_edl(GOOD)
+    assert edl.untrusted_by_name("ocall_write").param("data").direction \
+        is Direction.IN
+    assert edl.untrusted_by_name("ocall_read").param("data").direction \
+        is Direction.OUT
+    assert edl.untrusted_by_name("ocall_update").param("data").direction \
+        is Direction.INOUT
+    assert edl.untrusted_by_name("ocall_raw").param("p").direction \
+        is Direction.USER_CHECK
+
+
+def test_string_attribute_implies_in():
+    edl = parse_edl(GOOD)
+    param = edl.untrusted_by_name("ocall_log").param("message")
+    assert param.is_string
+    assert param.direction is Direction.IN
+
+
+def test_size_expr_references_param():
+    edl = parse_edl(GOOD)
+    assert edl.trusted_by_name("put").param("key").size_expr == "len"
+
+
+def test_literal_size():
+    edl = parse_edl("""
+    enclave { trusted {
+        public void f([in, size=4096] bytes page);
+    }; };""")
+    assert edl.trusted_by_name("f").param("page").size_expr == 4096
+
+
+def test_comments_stripped():
+    parse_edl("enclave { /* x */ trusted { // y\n }; };")
+
+
+@pytest.mark.parametrize("bad,why", [
+    ("enclave { trusted { public uint64 f(", "eof"),
+    ("enclave { trusted { public float f(); }; };", "bad type"),
+    ("enclave { untrusted { public uint64 f(); }; };", "public untrusted"),
+    ("enclave { trusted { public uint64 f([in] bytes b); }; };", "no size"),
+    ("enclave { trusted { public uint64 f([in, size=m] bytes b); }; };",
+     "size ref missing"),
+    ("enclave { trusted { public uint64 f(uint64 a, uint64 a); }; };",
+     "dup param"),
+    ("enclave { trusted { public uint64 f(); public uint64 f(); }; };",
+     "dup func"),
+    ("enclave { trusted { public uint64 f([in] uint64 a); }; };",
+     "attrs on scalar"),
+    ("enclave { trusted { public uint64 f([in, user_check, size=n] "
+     "bytes b, uint64 n); }; };", "bad combo"),
+    ("enclave { weird { }; };", "bad section"),
+    ("enclave { trusted { }; }; extra", "trailing"),
+    ("enclave { trusted { public uint64 f(); }; }; @", "bad char"),
+])
+def test_rejects_malformed(bad, why):
+    with pytest.raises(EdlError):
+        parse_edl(bad)
+
+
+def test_unknown_function_lookup():
+    edl = parse_edl(GOOD)
+    with pytest.raises(EdlError):
+        edl.trusted_by_name("nope")
+    with pytest.raises(EdlError):
+        edl.untrusted_by_name("nope")
+
+
+def test_bytes_without_direction_rejected():
+    with pytest.raises(EdlError):
+        parse_edl("enclave { trusted { "
+                  "public uint64 f(bytes b, uint64 n); }; };")

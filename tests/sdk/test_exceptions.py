@@ -1,0 +1,200 @@
+"""Tests for in-enclave exception handling (Table 2 mechanics)."""
+
+import pytest
+
+from repro.hw import costs
+from repro.monitor.structs import EnclaveConfig, EnclaveMode, PagePerm
+from repro.platform import TeePlatform
+from repro.sdk.image import EnclaveImage
+
+EDL = """
+enclave {
+    trusted {
+        public uint64 take_ud();
+        public uint64 gc_round(uint64 npages);
+    };
+    untrusted { };
+};
+"""
+
+PAGE = 4096
+
+
+def t_take_ud(ctx):
+    hits = {"count": 0}
+
+    def handler(c, vector):
+        hits["count"] += 1
+
+    ctx.register_exception_handler(handler)
+    ctx.trigger_ud()
+    return hits["count"]
+
+
+def t_gc_round(ctx, npages):
+    """The paper's GC scenario: allocate, revoke write, fault, restore."""
+    size = npages * PAGE
+    va = ctx.malloc(size)
+    ctx.write(va, b"\x00" * size)                  # commit pages
+
+    def pf_handler(c, fault_va):
+        page = fault_va & ~(PAGE - 1)
+        c.mprotect(page, 1, PagePerm.RW)           # restore write access
+
+    ctx.register_pf_handler(pf_handler)
+    ctx.mprotect(va, npages, PagePerm.R)           # revoke writes
+    faults = 0
+    for i in range(npages):
+        ctx.write(va + i * PAGE, b"!")             # triggers #PF + restore
+        faults += 1
+    return faults
+
+
+def image(mode):
+    return EnclaveImage.build(
+        "exceptional", EDL, {"take_ud": t_take_ud, "gc_round": t_gc_round},
+        EnclaveConfig(mode=mode, heap_size=1024 * 1024))
+
+
+@pytest.fixture(scope="module")
+def platform():
+    from .conftest import SMALL
+    return TeePlatform.hyperenclave(SMALL)
+
+
+@pytest.fixture(scope="module")
+def sgx():
+    from .conftest import SMALL
+    return TeePlatform.intel_sgx(SMALL)
+
+
+class TestUdHandling:
+    @pytest.mark.parametrize("mode,expected", [
+        (EnclaveMode.P, 258),
+        (EnclaveMode.GU, 17490),
+        (EnclaveMode.HU, 15723),
+    ])
+    def test_ud_cost_matches_table2(self, platform, mode, expected):
+        handle = platform.load_enclave(image(mode))
+
+        measured = {}
+
+        def take_ud_measured(ctx):
+            ctx.register_exception_handler(lambda c, v: None)
+            with platform.cycles.measure() as span:
+                ctx.trigger_ud()
+            measured["cycles"] = span.elapsed
+            return 0
+
+        handle.image.trusted_funcs["take_ud"] = take_ud_measured
+        handle.proxies.take_ud()
+        assert measured["cycles"] == expected
+        handle.destroy()
+
+    def test_ud_cost_sgx(self, sgx):
+        handle = sgx.load_enclave(image(EnclaveMode.SGX))
+        measured = {}
+
+        def take_ud_measured(ctx):
+            ctx.register_exception_handler(lambda c, v: None)
+            with sgx.cycles.measure() as span:
+                ctx.trigger_ud()
+            measured["cycles"] = span.elapsed
+            return 0
+
+        handle.image.trusted_funcs["take_ud"] = take_ud_measured
+        handle.proxies.take_ud()
+        assert measured["cycles"] == 28561
+        handle.destroy()
+
+    def test_handler_actually_runs(self, platform):
+        for mode in (EnclaveMode.P, EnclaveMode.GU):
+            handle = platform.load_enclave(image(mode))
+            assert handle.proxies.take_ud() == 1
+            handle.destroy()
+
+    def test_unhandled_ud_aborts(self, platform):
+        handle = platform.load_enclave(image(EnclaveMode.GU))
+        from repro.errors import EnclaveError
+
+        def bad(ctx):
+            ctx.trigger_ud()
+            return 0
+
+        handle.image.trusted_funcs["take_ud"] = bad
+        with pytest.raises(EnclaveError):
+            handle.proxies.take_ud()
+        handle.destroy()
+
+
+class TestGcPageFaults:
+    @pytest.mark.parametrize("mode", [EnclaveMode.P, EnclaveMode.GU])
+    def test_gc_round_completes(self, platform, mode):
+        handle = platform.load_enclave(image(mode))
+        assert handle.proxies.gc_round(npages=4) == 4
+        handle.destroy()
+
+    def test_pf_costs_match_table2(self, platform):
+        per_mode = {}
+        for mode in (EnclaveMode.P, EnclaveMode.GU):
+            handle = platform.load_enclave(image(mode))
+            measured = {}
+
+            def gc_measured(ctx, npages, _m=measured):
+                size = npages * PAGE
+                va = ctx.malloc(size)
+                ctx.write(va, b"\x00" * size)
+                ctx.register_pf_handler(
+                    lambda c, fva: c.mprotect(fva & ~(PAGE - 1), 1,
+                                              PagePerm.RW))
+                ctx.mprotect(va, npages, PagePerm.R)
+                with platform.cycles.measure() as span:
+                    ctx.write(va, b"!")
+                # Subtract the memory-system cost of the write itself,
+                # leaving the pure fault-handling cycles.
+                _m["cycles"] = span.elapsed - span.categories.get(
+                    "enclave-memory", 0)
+                return 1
+
+            handle.image.trusted_funcs["gc_round"] = gc_measured
+            handle.proxies.gc_round(npages=1)
+            per_mode[mode] = measured["cycles"]
+            handle.destroy()
+
+        assert per_mode[EnclaveMode.GU] == 2660
+        assert per_mode[EnclaveMode.P] == 1132
+
+    def test_fault_without_handler_propagates(self, platform):
+        handle = platform.load_enclave(image(EnclaveMode.GU))
+        from repro.errors import PageFault
+
+        def no_handler(ctx, npages):
+            va = ctx.malloc(PAGE)
+            ctx.write(va, b"\x00" * PAGE)
+            ctx.mprotect(va, 1, PagePerm.R)
+            ctx.write(va, b"!")
+            return 0
+
+        handle.image.trusted_funcs["gc_round"] = no_handler
+        with pytest.raises(PageFault):
+            handle.proxies.gc_round(npages=1)
+        handle.destroy()
+
+    def test_p_enclave_mprotect_cheaper_than_gu(self, platform):
+        """P edits its own page table; GU must hypercall (Sec 4.3)."""
+        measured = {}
+        for mode in (EnclaveMode.P, EnclaveMode.GU):
+            handle = platform.load_enclave(image(mode))
+
+            def protect_only(ctx, npages, _mode=mode):
+                va = ctx.malloc(PAGE)
+                ctx.write(va, b"\x00" * PAGE)
+                with platform.cycles.measure() as span:
+                    ctx.mprotect(va, 1, PagePerm.R)
+                measured[_mode] = span.elapsed
+                return 0
+
+            handle.image.trusted_funcs["gc_round"] = protect_only
+            handle.proxies.gc_round(npages=1)
+            handle.destroy()
+        assert measured[EnclaveMode.P] < measured[EnclaveMode.GU]

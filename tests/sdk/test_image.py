@@ -1,0 +1,108 @@
+"""Tests for enclave images, layout computation and offline signing."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.rsa import cached_keypair
+from repro.errors import SdkError
+from repro.hw.phys import PAGE_SIZE
+from repro.monitor.structs import EnclaveConfig, EnclaveMode, PageType
+from repro.platform import TeePlatform, replace_image_mode
+from repro.sdk.image import EnclaveImage, compute_layout
+
+KEY = cached_keypair(b"vendor-signing-key", 768)
+
+EDL = """
+enclave {
+    trusted { public uint64 f(uint64 x); };
+    untrusted { };
+};
+"""
+
+
+def make_image(**config_kwargs):
+    return EnclaveImage.build("img", EDL, {"f": lambda ctx, x: x + 1},
+                              EnclaveConfig(**config_kwargs))
+
+
+class TestImage:
+    def test_missing_implementation_rejected(self):
+        with pytest.raises(SdkError, match="no implementation"):
+            EnclaveImage.build("bad", EDL, {})
+
+    def test_code_bytes_stable(self):
+        img = make_image()
+        assert img.code_bytes() == img.code_bytes()
+
+    def test_code_bytes_change_with_function(self):
+        a = EnclaveImage.build("img", EDL, {"f": lambda ctx, x: x + 1})
+        b = EnclaveImage.build("img", EDL, {"f": lambda ctx, x: x + 2})
+        # Lambdas at different source positions fingerprint differently.
+        assert a.code_bytes() != b.code_bytes()
+
+    def test_code_bytes_change_with_name(self):
+        a = make_image()
+        b = make_image()
+        b.name = "other"
+        assert a.code_bytes() != b.code_bytes()
+
+
+class TestLayout:
+    def test_sections_present(self):
+        layout = compute_layout(make_image(tcs_count=2,
+                                           ssa_frames_per_tcs=3))
+        types = [p.page_type for p in layout.pages]
+        assert types.count(PageType.TCS) == 2
+        assert types.count(PageType.SSA) == 6
+        assert PageType.REG in types
+
+    def test_heap_not_eadded(self):
+        image = make_image(heap_size=1024 * 1024)
+        layout = compute_layout(image)
+        # The heap demand-commits: no page offsets inside the heap range.
+        for page in layout.pages:
+            assert not (layout.heap_start <= page.offset
+                        < layout.heap_start + layout.heap_size)
+        assert layout.heap_size == 1024 * 1024
+
+    def test_offsets_unique_and_aligned(self):
+        layout = compute_layout(make_image())
+        offsets = [p.offset for p in layout.pages]
+        assert len(set(offsets)) == len(offsets)
+        assert all(o % PAGE_SIZE == 0 for o in offsets)
+
+    def test_elrange_covers_everything(self):
+        layout = compute_layout(make_image())
+        top = max(p.offset for p in layout.pages) + PAGE_SIZE
+        assert layout.elrange_size >= top
+        assert layout.elrange_size >= layout.heap_start + layout.heap_size
+
+    def test_stack_scales_with_tcs(self):
+        small = compute_layout(make_image(tcs_count=1))
+        large = compute_layout(make_image(tcs_count=4))
+        assert large.elrange_size > small.elrange_size
+
+
+class TestSigning:
+    def test_offline_measurement_matches_monitor(self):
+        """image.sign() must predict the exact MRENCLAVE the monitor
+        computes while loading — otherwise EINIT would reject."""
+        platform = TeePlatform.hyperenclave()
+        image = make_image()
+        sig = image.sign(KEY)
+        handle = platform.load_enclave(image, KEY)
+        assert handle.enclave.secs.mrenclave == sig.enclave_hash
+        handle.destroy()
+
+    def test_different_mode_different_measurement(self):
+        image = make_image(mode=EnclaveMode.GU)
+        gu_sig = image.sign(KEY)
+        hu_sig = replace_image_mode(image, EnclaveMode.HU).sign(KEY)
+        assert gu_sig.enclave_hash != hu_sig.enclave_hash
+
+    def test_svn_carried_through(self):
+        image = dataclasses.replace(make_image(), isv_svn=3, isv_prod_id=7)
+        sig = image.sign(KEY)
+        assert sig.isv_svn == 3
+        assert sig.isv_prod_id == 7

@@ -1,0 +1,94 @@
+"""Tests for multi-threaded enclaves (one TCS per thread, Sec 3.4)."""
+
+import pytest
+
+from repro.errors import EnclaveError
+from repro.monitor.structs import EnclaveConfig, EnclaveMode
+from repro.platform import TeePlatform
+from repro.sdk.image import EnclaveImage
+
+from .conftest import SMALL
+
+EDL = """
+enclave {
+    trusted {
+        public uint64 outer(uint64 depth);
+        public uint64 bump();
+    };
+    untrusted {
+        uint64 ocall_reenter(uint64 depth);
+    };
+};
+"""
+
+
+def t_outer(ctx, depth):
+    """Simulates thread A holding a TCS while thread B ECALLs in: the
+    OCALL's untrusted side performs a second, concurrent ECALL."""
+    if depth == 0:
+        return 1
+    return ctx.ocall("ocall_reenter", depth=depth)
+
+
+def t_bump(ctx):
+    ctx.globals["counter"] = ctx.globals.get("counter", 0) + 1
+    return ctx.globals["counter"]
+
+
+def image(tcs_count):
+    return EnclaveImage.build(
+        "threads", EDL, {"outer": t_outer, "bump": t_bump},
+        EnclaveConfig(mode=EnclaveMode.GU, tcs_count=tcs_count))
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return TeePlatform.hyperenclave(SMALL)
+
+
+def test_concurrent_ecalls_take_distinct_tcs(platform):
+    handle = platform.load_enclave(image(tcs_count=3))
+    busy = []
+
+    def reenter(depth):
+        busy.append(sum(t.busy for t in handle.enclave.tcs_list))
+        # The "second thread" calls into the enclave while the first one
+        # is parked in an OCALL.
+        return handle.ecall("outer", depth=depth - 1)
+
+    handle.register_ocall("ocall_reenter", reenter)
+    assert handle.ecall("outer", depth=2) == 1
+    # While nested, 2 then 3 TCSs were simultaneously busy.
+    assert busy == [1, 2]
+    assert all(not t.busy for t in handle.enclave.tcs_list)
+    handle.destroy()
+
+
+def test_thread_exhaustion_is_an_error(platform):
+    handle = platform.load_enclave(image(tcs_count=2))
+    handle.register_ocall(
+        "ocall_reenter", lambda depth: handle.ecall("outer", depth=depth - 1))
+    with pytest.raises(EnclaveError, match="TCS"):
+        handle.ecall("outer", depth=3)    # needs 3 TCSs, has 2
+    handle.destroy()
+
+
+def test_threads_share_enclave_globals(platform):
+    handle = platform.load_enclave(image(tcs_count=2))
+    assert handle.ecall("bump") == 1
+    assert handle.ecall("bump") == 2      # same enclave state
+    handle.destroy()
+
+
+def test_tcs_released_after_error(platform):
+    handle = platform.load_enclave(image(tcs_count=1))
+
+    def boom(ctx):
+        raise ValueError("in-enclave crash")
+
+    handle.image.trusted_funcs["bump"] = boom
+    with pytest.raises(ValueError):
+        handle.ecall("bump")
+    # The TCS must not leak.
+    assert all(not t.busy for t in handle.enclave.tcs_list)
+    handle.destroy()

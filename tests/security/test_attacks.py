@@ -1,0 +1,183 @@
+"""The security test-suite: every paper-cited attack must be blocked on
+HyperEnclave; the enclave-malware attacks must (by design) *succeed* on
+the SGX baseline model — that asymmetry is the paper's Sec 6 claim."""
+
+import pytest
+
+from repro.attacks import dma, malware, mapping, rollback
+from repro.monitor.attestation import QuoteVerifier
+from repro.platform import TeePlatform
+
+from tests.sdk.conftest import SMALL, demo_image
+
+
+@pytest.fixture(scope="module")
+def he():
+    platform = TeePlatform.hyperenclave(SMALL)
+    handle = platform.load_enclave(demo_image())
+    return platform, handle
+
+
+@pytest.fixture(scope="module")
+def sgx():
+    platform = TeePlatform.intel_sgx(SMALL)
+    handle = platform.load_enclave(demo_image())
+    return platform, handle
+
+
+class TestMappingAttacks:
+    def test_alias_enclave_pages_blocked(self, he):
+        platform, handle = he
+        result = mapping.alias_enclave_pages(platform, handle)
+        assert result.blocked, result
+
+    def test_map_enclave_frame_into_process_blocked(self, he):
+        platform, handle = he
+        result = mapping.map_enclave_frame_into_process(platform, handle)
+        assert result.blocked, result
+
+    def test_remap_pinned_msbuf_blocked(self, he):
+        platform, handle = he
+        result = mapping.os_remaps_marshalling_buffer(platform, handle)
+        assert result.blocked, result
+
+    def test_overlapping_msbuf_blocked(self, he):
+        platform, handle = he
+        result = mapping.overlapping_marshalling_buffer(platform,
+                                                        demo_image())
+        assert result.blocked, result
+
+
+class TestEnclaveMalware:
+    def _fresh_handle(self, platform):
+        image = demo_image()
+        image.name = f"malware-{id(image)}"
+        return platform.load_enclave(image)
+
+    def test_scrape_blocked_on_hyperenclave(self, he):
+        platform, _ = he
+        handle = self._fresh_handle(platform)
+        vma = platform.kernel.mmap(platform.process, 4096, populate=True)
+        platform.kernel.user_write(platform.process, vma.start,
+                                   b"TLS-PRIVATE-KEY!")
+        result = malware.scrape_app_memory(platform, handle,
+                                           secret_va=vma.start,
+                                           secret_len=16)
+        assert result.blocked, result
+
+    def test_scrape_succeeds_on_sgx_model(self, sgx):
+        """The SGX design lets enclaves read the whole app address space."""
+        platform, _ = sgx
+        handle = self._fresh_handle(platform)
+        vma = platform.kernel.mmap(platform.process, 4096, populate=True)
+        platform.kernel.user_write(platform.process, vma.start,
+                                   b"TLS-PRIVATE-KEY!")
+        result = malware.scrape_app_memory(platform, handle,
+                                           secret_va=vma.start,
+                                           secret_len=16)
+        assert not result.blocked
+        assert b"TLS-PRIVATE-KEY!" in result.detail.encode(
+            "latin-1", "backslashreplace") or "TLS" in result.detail
+
+    def test_tamper_blocked_on_hyperenclave(self, he):
+        platform, _ = he
+        handle = self._fresh_handle(platform)
+        vma = platform.kernel.mmap(platform.process, 4096, populate=True)
+        result = malware.tamper_app_memory(platform, handle,
+                                           target_va=vma.start)
+        assert result.blocked, result
+
+    def test_tamper_succeeds_on_sgx_model(self, sgx):
+        platform, _ = sgx
+        handle = self._fresh_handle(platform)
+        vma = platform.kernel.mmap(platform.process, 4096, populate=True)
+        result = malware.tamper_app_memory(platform, handle,
+                                           target_va=vma.start)
+        assert not result.blocked
+        assert platform.kernel.user_read(
+            platform.process, vma.start, 8) == b"\xde\xad\xbe\xef" * 2
+
+    def test_eexit_hijack_blocked(self, he):
+        platform, _ = he
+        handle = self._fresh_handle(platform)
+        result = malware.eexit_hijack(platform, handle,
+                                      rogue_target=0x41414141)
+        assert result.blocked, result
+
+    def test_enclave_can_still_use_msbuf(self, he):
+        """The confinement must not break legitimate user_check use."""
+        platform, handle = he
+        va = handle.msbuf_user_alloc(32)
+        handle.app_write(va, bytes([3] * 32))
+        assert handle.proxies.read_user(ptr=va, n=32) == 96
+
+
+class TestDmaAttacks:
+    def test_dma_read_enclave_blocked(self, he):
+        platform, handle = he
+        result = dma.dma_read_enclave_memory(platform, handle)
+        assert result.blocked, result
+
+    def test_dma_write_monitor_blocked(self, he):
+        platform, _ = he
+        result = dma.dma_write_monitor_memory(platform)
+        assert result.blocked, result
+
+    def test_unregistered_device_blocked(self, he):
+        platform, _ = he
+        result = dma.dma_from_unregistered_device(platform)
+        assert result.blocked, result
+
+    def test_legitimate_dma_still_works(self, he):
+        platform, _ = he
+        platform.machine.iommu.dma_write("nic", 0x2000, b"packet data")
+        assert platform.machine.iommu.dma_read("nic", 0x2000, 11) \
+            == b"packet data"
+
+
+class TestRollbackAttacks:
+    def test_pcr_forgery_blocked(self, he):
+        platform, _ = he
+        result = rollback.forge_pcr_state(platform)
+        assert result.blocked, result
+
+    def test_k_root_theft_blocked(self, he):
+        platform, _ = he
+        result = rollback.steal_sealed_root_key(platform)
+        assert result.blocked, result
+
+    def test_quote_replay_blocked(self, he):
+        platform, handle = he
+        verifier = QuoteVerifier(platform.boot.golden)
+        result = rollback.quote_replay(platform, handle, verifier)
+        assert result.blocked, result
+
+
+class TestSecurityRequirements:
+    """R-1..R-3 spot checks at the platform level."""
+
+    def test_r1_os_cannot_touch_reserved(self, he):
+        from repro.errors import SecurityViolation
+        platform, _ = he
+        with pytest.raises(SecurityViolation):
+            platform.monitor.check_normal_access(
+                platform.machine.config.reserved_base + 0x1000)
+
+    def test_r2_enclave_cannot_reach_other_enclave(self, he):
+        platform, handle = he
+        image = demo_image()
+        image.name = "second-enclave"
+        other = platform.load_enclave(image)
+        other_pa_va = other.enclave.secs.base    # same ELRANGE base VA
+        # handle's enclave translating its own base gets its OWN frame,
+        # never the other enclave's.
+        own_pa = handle.enclave.translate(handle.enclave.secs.base)
+        other_pa = other.enclave.translate(other_pa_va)
+        assert own_pa != other_pa
+        owner = platform.machine.phys.owner_of(other_pa)
+        assert owner.enclave_id == other.enclave_id
+        other.destroy()
+
+    def test_r3_iommu_enabled_after_launch(self, he):
+        platform, _ = he
+        assert platform.machine.iommu.enabled

@@ -1,0 +1,100 @@
+"""Tests for DEBUG-enclave semantics (EDBGRD, attestable attributes)."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import AttestationError, SecurityViolation
+from repro.monitor.attestation import QuoteVerifier
+from repro.monitor.structs import EnclaveConfig, EnclaveMode
+from repro.platform import TeePlatform
+from repro.sdk.image import EnclaveImage
+
+from tests.sdk.conftest import SMALL
+
+EDL = """
+enclave {
+    trusted { public uint64 stash([in, size=n] bytes secret, uint64 n); };
+    untrusted { };
+};
+"""
+
+
+def t_stash(ctx, secret, n):
+    va = ctx.malloc(n)
+    ctx.write(va, secret)
+    ctx.globals["va"] = va
+    return va
+
+
+def _image(debug):
+    return EnclaveImage.build(
+        "debuggee" if debug else "production", EDL, {"stash": t_stash},
+        EnclaveConfig(mode=EnclaveMode.GU, debug=debug))
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return TeePlatform.hyperenclave(SMALL)
+
+
+class TestEdbgrd:
+    def test_debugger_reads_debug_enclave(self, platform):
+        handle = platform.load_enclave(_image(debug=True))
+        va = handle.proxies.stash(secret=b"debug-visible", n=13)
+        data = platform.monitor.debug_read(handle.enclave_id, va, 13)
+        assert data == b"debug-visible"
+        handle.destroy()
+
+    def test_production_enclave_is_opaque(self, platform):
+        handle = platform.load_enclave(_image(debug=False))
+        va = handle.proxies.stash(secret=b"prod-secret!!", n=13)
+        with pytest.raises(SecurityViolation, match="EDBGRD"):
+            platform.monitor.debug_read(handle.enclave_id, va, 13)
+        handle.destroy()
+
+
+class TestAttestableAttributes:
+    def test_debug_flag_changes_measurement(self, platform):
+        debug = platform.load_enclave(_image(debug=True))
+        prod = platform.load_enclave(_image(debug=False))
+        # Different names aside, the DEBUG bit itself is measured: patch
+        # the names equal and compare sign-time measurements.
+        img_a, img_b = _image(True), _image(False)
+        img_b.name = img_a.name = "same-name"
+        from repro.platform import DEFAULT_VENDOR_KEY
+        assert img_a.sign(DEFAULT_VENDOR_KEY).enclave_hash != \
+            img_b.sign(DEFAULT_VENDOR_KEY).enclave_hash
+        debug.destroy()
+        prod.destroy()
+
+    def test_verifier_can_require_production(self, platform):
+        handle = platform.load_enclave(_image(debug=True))
+        quote = handle.ctx.get_quote(b"", b"n")
+        verifier = QuoteVerifier(platform.boot.golden)
+        # Default: accepted (report carries the flag for policy).
+        report = verifier.verify(quote)
+        assert report.debug
+        # Production policy: rejected.
+        with pytest.raises(AttestationError, match="DEBUG"):
+            verifier.verify(quote, require_production=True)
+        handle.destroy()
+
+    def test_production_quote_passes_production_policy(self, platform):
+        handle = platform.load_enclave(_image(debug=False))
+        quote = handle.ctx.get_quote(b"", b"n")
+        report = QuoteVerifier(platform.boot.golden).verify(
+            quote, require_production=True)
+        assert not report.debug
+        handle.destroy()
+
+    def test_forged_attribute_bit_breaks_signature(self, platform):
+        """Stripping the DEBUG bit from a quote invalidates the ems."""
+        handle = platform.load_enclave(_image(debug=True))
+        quote = handle.ctx.get_quote(b"", b"n")
+        laundered_report = dataclasses.replace(quote.report, attributes=0)
+        laundered = dataclasses.replace(quote, report=laundered_report)
+        with pytest.raises(AttestationError, match="signature"):
+            QuoteVerifier(platform.boot.golden).verify(
+                laundered, require_production=True)
+        handle.destroy()

@@ -1,0 +1,107 @@
+"""Tests for versioned sealing (rollback protection) and the SGX-Step
+side-channel scenario."""
+
+import pytest
+
+from repro.attacks import sidechannel
+from repro.errors import SealError, TpmError
+from repro.monitor.structs import EnclaveMode
+from repro.platform import TeePlatform
+
+from tests.sdk.conftest import SMALL, demo_image
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return TeePlatform.hyperenclave(SMALL)
+
+
+class TestNvCounters:
+    def test_define_increment_read(self, platform):
+        tpm = platform.machine.tpm
+        tpm.nv_counter_define(0x100)
+        assert tpm.nv_counter_read(0x100) == 0
+        assert tpm.nv_counter_increment(0x100) == 1
+        assert tpm.nv_counter_increment(0x100) == 2
+
+    def test_counters_survive_reboot(self, platform):
+        tpm = platform.machine.tpm
+        tpm.nv_counter_define(0x101)
+        tpm.nv_counter_increment(0x101)
+        tpm.reboot()
+        assert tpm.nv_counter_read(0x101) == 1
+
+    def test_undefined_counter_rejected(self, platform):
+        with pytest.raises(TpmError):
+            platform.machine.tpm.nv_counter_read(0x999)
+        with pytest.raises(TpmError):
+            platform.machine.tpm.nv_counter_increment(0x998)
+
+    def test_double_define_rejected(self, platform):
+        tpm = platform.machine.tpm
+        tpm.nv_counter_define(0x102)
+        with pytest.raises(TpmError):
+            tpm.nv_counter_define(0x102)
+
+
+class TestVersionedSealing:
+    @pytest.fixture
+    def handle(self, platform):
+        image = demo_image()
+        image.name = f"versioned-{id(image)}"
+        h = platform.load_enclave(image)
+        yield h
+        h.destroy()
+
+    def test_roundtrip(self, handle):
+        blob = handle.ctx.seal_versioned(b"balance=100", aad=b"wallet")
+        assert handle.ctx.unseal_versioned(blob, aad=b"wallet") \
+            == b"balance=100"
+
+    def test_stale_blob_rejected(self, handle):
+        """The rollback attack: the OS restores an old sealed blob."""
+        old = handle.ctx.seal_versioned(b"balance=100")
+        new = handle.ctx.seal_versioned(b"balance=5")
+        assert handle.ctx.unseal_versioned(new) == b"balance=5"
+        with pytest.raises(SealError, match="rollback"):
+            handle.ctx.unseal_versioned(old)
+
+    def test_counter_monotonic_per_enclave_identity(self, platform,
+                                                    handle):
+        v1 = platform.monitor.monotonic_counter_read(handle.enclave_id)
+        handle.ctx.seal_versioned(b"x")
+        assert platform.monitor.monotonic_counter_read(
+            handle.enclave_id) == v1 + 1
+
+    def test_truncated_blob_rejected(self, handle):
+        with pytest.raises(SealError):
+            handle.ctx.unseal_versioned(b"\x01\x02")
+
+    def test_unversioned_seal_still_replayable(self, handle):
+        """Contrast: plain seal_data has no rollback protection — this is
+        exactly the gap versioned sealing closes."""
+        old = handle.ctx.seal_data(b"balance=100")
+        handle.ctx.seal_data(b"balance=5")
+        assert handle.ctx.unseal_data(old) == b"balance=100"   # replayed!
+
+
+class TestSingleStepping:
+    def test_p_enclave_detects_single_stepping(self, platform):
+        handle = platform.load_enclave(demo_image(EnclaveMode.P))
+        result = sidechannel.single_stepping_attack(platform, handle)
+        assert result.blocked, result
+        assert "rerouted" in result.detail
+        handle.destroy()
+
+    def test_gu_enclave_cannot_notice(self, platform):
+        handle = platform.load_enclave(demo_image(EnclaveMode.GU))
+        result = sidechannel.single_stepping_attack(platform, handle)
+        assert not result.blocked
+        handle.destroy()
+
+    def test_unarmed_p_enclave_is_also_vulnerable(self, platform):
+        handle = platform.load_enclave(demo_image(EnclaveMode.P))
+        result = sidechannel.single_stepping_attack(platform, handle,
+                                                    monitor_enabled=False)
+        assert not result.blocked
+        handle.destroy()

@@ -1,0 +1,28 @@
+"""Smoke tests: every example must run end-to-end and say "done" (or
+reach its final assertion).  Examples are deliverables; they must not
+rot."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parents[1] / "examples")
+                  .glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate their output"
+
+
+def test_examples_exist():
+    """The repo promises at least a quickstart plus domain scenarios."""
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

@@ -1,0 +1,149 @@
+"""The full deployment story, end to end, across a reboot.
+
+This is the cross-module journey no unit test covers: a platform boots,
+an enclave is attested by a remote client, computes over uploaded data,
+seals its state; the machine power-cycles; the *same* platform identity
+relaunches, the same enclave identity reloads, recovers the sealed state
+— and a tampered relaunch can't.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SealError
+from repro.hw.machine import Machine, MachineConfig
+from repro.monitor.attestation import QuoteVerifier
+from repro.monitor.boot import default_components, measured_late_launch
+from repro.monitor.structs import EnclaveConfig, EnclaveMode
+from repro.osim.kernel import Kernel
+from repro.osim.kmod import HyperEnclaveDevice
+from repro.platform import DEFAULT_VENDOR_KEY
+from repro.sdk.edger8r import generate_proxies
+from repro.sdk.image import EnclaveImage
+from repro.sdk.urts import UntrustedRuntime
+
+EDL = """
+enclave {
+    trusted {
+        public uint64 accumulate([in, size=n] bytes values, uint64 n);
+        public uint64 export_state([out, size=cap] bytes blob, uint64 cap);
+        public uint64 import_state([in, size=n] bytes blob, uint64 n);
+    };
+    untrusted { };
+};
+"""
+
+
+def t_accumulate(ctx, values, n):
+    total = ctx.globals.get("total", 0) + sum(values)
+    ctx.globals["total"] = total
+    return total
+
+
+def t_export_state(ctx, blob, cap):
+    sealed = ctx.seal_data(ctx.globals.get("total", 0).to_bytes(8, "little"),
+                           aad=b"accumulator-v1")
+    blob[:len(sealed)] = sealed
+    return len(sealed)
+
+
+def t_import_state(ctx, blob, n):
+    total = int.from_bytes(
+        ctx.unseal_data(bytes(blob), aad=b"accumulator-v1"), "little")
+    ctx.globals["total"] = total
+    return total
+
+
+def _image():
+    return EnclaveImage.build(
+        "accumulator", EDL,
+        {"accumulate": t_accumulate, "export_state": t_export_state,
+         "import_state": t_import_state},
+        EnclaveConfig(mode=EnclaveMode.GU))
+
+
+def _launch(machine, sealed_root_key=None, components=None):
+    boot = measured_late_launch(machine, sealed_root_key=sealed_root_key,
+                                components=components)
+    kernel = Kernel(machine, boot.monitor)
+    device = HyperEnclaveDevice(kernel, boot.monitor)
+    process = kernel.spawn()
+    urts = UntrustedRuntime(machine, kernel, device, boot.monitor, process)
+    handle = urts.create_enclave(_image(), DEFAULT_VENDOR_KEY)
+    handle.proxies = generate_proxies(handle)
+    return boot, handle
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig(
+        phys_size=512 * 1024 * 1024,
+        reserved_base=256 * 1024 * 1024,
+        reserved_size=128 * 1024 * 1024,
+    ))
+
+
+def test_full_story_across_reboot(machine):
+    # --- first boot: attest, compute, seal -------------------------------
+    boot, handle = _launch(machine)
+    verifier_golden = boot.golden
+
+    quote = handle.ctx.get_quote(b"client-hello", b"nonce-A")
+    report = QuoteVerifier(verifier_golden).verify(
+        quote, expected_mrenclave=handle.enclave.secs.mrenclave,
+        expected_nonce=b"nonce-A", require_production=True)
+    assert report.report_data == b"client-hello"
+
+    assert handle.proxies.accumulate(values=bytes([10, 20, 30]), n=3) == 60
+    assert handle.proxies.accumulate(values=bytes([40]), n=1) == 100
+    _, outs = handle.proxies.export_state(cap=256)
+    sealed_state = outs["blob"].rstrip(b"\x00")
+    sealed_root = boot.sealed_root_key   # "on disk"
+    mrenclave_v1 = handle.enclave.secs.mrenclave
+
+    # --- power cycle -------------------------------------------------------
+    machine.reboot()
+
+    # --- second boot: same measurements -> same keys -----------------------
+    boot2, handle2 = _launch(machine, sealed_root_key=sealed_root)
+    # The platform still verifies against the ORIGINAL golden values.
+    quote2 = handle2.ctx.get_quote(b"", b"nonce-B")
+    QuoteVerifier(verifier_golden).verify(
+        quote2, expected_mrenclave=mrenclave_v1, expected_nonce=b"nonce-B")
+    # The relaunched enclave recovers its sealed accumulator.
+    assert handle2.proxies.import_state(blob=sealed_state,
+                                        n=len(sealed_state)) == 100
+    assert handle2.proxies.accumulate(values=bytes([1]), n=1) == 101
+
+
+def test_tampered_relaunch_recovers_nothing(machine):
+    boot, handle = _launch(machine)
+    handle.proxies.accumulate(values=bytes([7]), n=1)
+    _, outs = handle.proxies.export_state(cap=256)
+    sealed_state = outs["blob"].rstrip(b"\x00")
+    sealed_root = boot.sealed_root_key
+    golden = boot.golden
+
+    machine.reboot()
+
+    # An evil monitor boots: K_root is unreachable (PCR policy), so the
+    # launch aborts before any enclave can even be keyed.
+    with pytest.raises(SealError):
+        _launch(machine, sealed_root_key=sealed_root,
+                components=default_components(b"EvilMonitor v666"))
+
+    # It restarts WITHOUT the old K_root: new platform identity.
+    boot3, handle3 = _launch(machine,
+                             components=default_components(
+                                 b"EvilMonitor v666"))
+    # Old sealed state is cryptographically dead...
+    from repro.errors import ReproError
+    with pytest.raises(ReproError):
+        handle3.proxies.import_state(blob=sealed_state,
+                                     n=len(sealed_state))
+    # ...and the remote client spots the substitution immediately.
+    from repro.errors import AttestationError
+    quote = handle3.ctx.get_quote(b"", b"nonce-C")
+    with pytest.raises(AttestationError):
+        QuoteVerifier(golden).verify(quote)

@@ -1,0 +1,96 @@
+"""Tests for the TeePlatform facade and NativeContext."""
+
+import pytest
+
+from repro.errors import SdkError
+from repro.monitor.structs import EnclaveConfig, EnclaveMode
+from repro.platform import (DEFAULT_VENDOR_KEY, NativeContext, TeePlatform,
+                            replace_image_mode)
+from repro.sdk.image import EnclaveImage
+
+EDL = "enclave { trusted { public uint64 f(); }; untrusted { }; };"
+
+
+def image(mode=EnclaveMode.GU):
+    return EnclaveImage.build("p", EDL, {"f": lambda ctx: 7},
+                              EnclaveConfig(mode=mode))
+
+
+class TestConstruction:
+    def test_hyperenclave_boots_with_monitor(self):
+        p = TeePlatform.hyperenclave()
+        assert p.kind == "hyperenclave"
+        assert p.monitor is not None
+        assert p.monitor.os_demoted
+        assert p.machine.encryption.name == "amd-sme"
+
+    def test_sgx_uses_mee(self):
+        p = TeePlatform.intel_sgx()
+        assert p.machine.encryption.name == "intel-mee"
+
+    def test_native_has_no_monitor(self):
+        p = TeePlatform.native()
+        assert p.monitor is None
+        assert p.urts is None
+        assert p.machine.encryption.name == "none"
+
+
+class TestEnclaveLoading:
+    def test_load_and_call(self):
+        p = TeePlatform.hyperenclave()
+        handle = p.load_enclave(image())
+        assert handle.proxies.f() == 7
+
+    def test_sgx_platform_coerces_mode(self):
+        p = TeePlatform.intel_sgx()
+        handle = p.load_enclave(image(EnclaveMode.GU))
+        assert handle.enclave.mode is EnclaveMode.SGX
+        assert not handle.use_marshalling
+
+    def test_hyperenclave_rejects_sgx_image(self):
+        p = TeePlatform.hyperenclave()
+        with pytest.raises(SdkError):
+            p.load_enclave(image(EnclaveMode.SGX))
+
+    def test_native_cannot_load(self):
+        with pytest.raises(SdkError):
+            TeePlatform.native().load_enclave(image())
+
+    def test_default_vendor_key_used(self):
+        p = TeePlatform.hyperenclave()
+        handle = p.load_enclave(image())
+        assert handle.enclave.secs.mrsigner == \
+            __import__("repro.crypto.hashes", fromlist=["sha256"]).sha256(
+                DEFAULT_VENDOR_KEY.public.to_bytes())
+
+
+class TestNativeContext:
+    def test_context_surface(self):
+        ctx = TeePlatform.native().native_context()
+        va = ctx.malloc(100)
+        ctx.touch(va, 64)
+        ctx.touch_sequential(va, 100)
+        ctx.compute(10)
+        assert len(ctx.random(8)) == 8
+
+    def test_heap_reset(self):
+        ctx = TeePlatform.native().native_context()
+        va = ctx.malloc(32)
+        ctx.heap_reset()
+        assert ctx.malloc(32) == va
+
+    def test_malloc_rejects_zero(self):
+        ctx = TeePlatform.native().native_context()
+        with pytest.raises(SdkError):
+            ctx.malloc(0)
+
+    def test_native_context_only_on_native(self):
+        with pytest.raises(SdkError):
+            TeePlatform.hyperenclave().native_context()
+
+
+def test_replace_image_mode_copies():
+    original = image(EnclaveMode.GU)
+    changed = replace_image_mode(original, EnclaveMode.P)
+    assert changed.config.mode is EnclaveMode.P
+    assert original.config.mode is EnclaveMode.GU

@@ -1,0 +1,89 @@
+"""Tests for the ARM/RISC-V port models (Sec 8)."""
+
+import dataclasses
+
+import pytest
+
+from repro.monitor.structs import EnclaveMode
+from repro.ports import ALL_PORTS, ARMV8_PORT, RISCV_PORT, validate_port
+from repro.ports.base import (LevelMapping, PortError, PortMapping,
+                              SwitchMechanism)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PORTS))
+def test_ports_validate(name):
+    validate_port(ALL_PORTS[name])
+
+
+def test_armv8_level_assignment():
+    """The paper's explicit mapping: EL2 / EL1 / EL0, enclaves EL1 or EL0."""
+    assert ARMV8_PORT.for_module("monitor").level == "EL2"
+    assert ARMV8_PORT.for_module("primary-os").level == "EL1"
+    assert ARMV8_PORT.for_module("app").level == "EL0"
+    assert ARMV8_PORT.enclave_mapping(EnclaveMode.GU).level == "EL0"
+    assert ARMV8_PORT.enclave_mapping(EnclaveMode.P).level == "EL1"
+
+
+def test_riscv_level_assignment():
+    assert RISCV_PORT.for_module("monitor").level == "HS-mode"
+    assert RISCV_PORT.for_module("primary-os").level == "VS-mode"
+    assert RISCV_PORT.enclave_mapping(EnclaveMode.GU).level == "VU-mode"
+    assert RISCV_PORT.enclave_mapping(EnclaveMode.P).level == "VS-mode"
+
+
+@pytest.mark.parametrize("port", [ARMV8_PORT, RISCV_PORT])
+def test_hu_is_cheapest_everywhere(port):
+    """Table 1's structure must survive the port: HU < GU <= P."""
+    hu = port.enclave_mapping(EnclaveMode.HU).entry_cycles
+    gu = port.enclave_mapping(EnclaveMode.GU).entry_cycles
+    p = port.enclave_mapping(EnclaveMode.P).entry_cycles
+    assert hu < gu <= p
+
+
+@pytest.mark.parametrize("port", [ARMV8_PORT, RISCV_PORT])
+def test_both_require_two_level_translation(port):
+    assert port.stage2_name
+    assert port.has_tpm_story
+
+
+def test_missing_module_rejected():
+    broken = PortMapping(isa="broken", stage2_name="x", has_tpm_story="y",
+                         levels=(LevelMapping("monitor", "L2"),))
+    with pytest.raises(PortError):
+        validate_port(broken)
+
+
+def test_monitor_with_entry_rejected():
+    levels = list(ARMV8_PORT.levels)
+    levels[0] = LevelMapping("monitor", "EL2", SwitchMechanism.HYPERCALL,
+                             100)
+    broken = dataclasses.replace(ARMV8_PORT, levels=tuple(levels))
+    with pytest.raises(PortError):
+        validate_port(broken)
+
+
+def test_inverted_costs_rejected():
+    levels = []
+    for m in ARMV8_PORT.levels:
+        if m.module == "enclave-hu":
+            m = dataclasses.replace(m, entry_cycles=99_999)
+        levels.append(m)
+    broken = dataclasses.replace(ARMV8_PORT, levels=tuple(levels))
+    with pytest.raises(PortError):
+        validate_port(broken)
+
+
+def test_os_sharing_monitor_level_rejected():
+    levels = []
+    for m in ARMV8_PORT.levels:
+        if m.module == "primary-os":
+            m = dataclasses.replace(m, level="EL2")
+        levels.append(m)
+    broken = dataclasses.replace(ARMV8_PORT, levels=tuple(levels))
+    with pytest.raises(PortError):
+        validate_port(broken)
+
+
+def test_unknown_module_lookup():
+    with pytest.raises(PortError):
+        ARMV8_PORT.for_module("hyperdrive")

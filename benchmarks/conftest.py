@@ -24,7 +24,33 @@ from repro.monitor.structs import EnclaveConfig, EnclaveMode
 from repro.platform import TeePlatform
 from repro.sdk.image import EnclaveImage
 
+from . import telemetry_cli
+
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.json"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--telemetry-out", action="store", default=None, metavar="PATH",
+        help="write a telemetry JSON snapshot (plus Chrome trace) of the "
+             "benchmark run to PATH")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _telemetry_out(request):
+    path = request.config.getoption("--telemetry-out")
+    if not path:
+        yield None
+        return
+    sink = telemetry_cli.TelemetrySink()
+    telemetry_cli.activate(sink)
+    yield sink
+    telemetry_cli.deactivate()
+    if sink.items:
+        snapshot_path, trace_path = sink.write(path)
+        print(f"\n{sink.report()}")
+        print(f"telemetry snapshot: {snapshot_path}")
+        print(f"chrome trace:       {trace_path}")
 
 # A small machine keeps pool setup fast; the reserved region still
 # dwarfs every enclave used here.
@@ -118,6 +144,9 @@ def load_platform_and_handle(mode: EnclaveMode, **image_kwargs):
         platform = TeePlatform.intel_sgx(BENCH_MACHINE)
     else:
         platform = TeePlatform.hyperenclave(BENCH_MACHINE)
+    sink = telemetry_cli.current()
+    if sink is not None:
+        sink.register(mode.value, platform.machine.telemetry)
     handle = platform.load_enclave(empty_image(mode, **image_kwargs))
     register_empty_ocalls(handle)
     return platform, handle

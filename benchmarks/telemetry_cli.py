@@ -1,0 +1,112 @@
+"""Benchmark-side telemetry plumbing (``--telemetry-out``).
+
+A :class:`TelemetrySink` collects every ``(label, Telemetry)`` pair the
+benchmarks create while it is active; at the end of the run it writes the
+JSON snapshot plus the Chrome trace via
+:func:`repro.telemetry.export.write_telemetry`.
+
+Two entry points activate a sink:
+
+* the pytest option ``--telemetry-out PATH`` (wired in ``conftest.py``),
+  covering ``pytest benchmarks/ --telemetry-out out.json``;
+* :func:`run_cli`, the ``python -m benchmarks.bench_table1_edge_calls
+  --telemetry-out out.json`` path used by the CI smoke job.
+
+``load_platform_and_handle`` consults :func:`current` so platform
+creation registers its machine automatically; when no sink is active the
+benchmarks run exactly as before — telemetry stays disabled and the
+calibrated cycle counts are untouched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.telemetry import Telemetry
+from repro.telemetry.export import top_report, snapshot_document, \
+    write_telemetry
+
+_ACTIVE: "TelemetrySink | None" = None
+
+
+class TelemetrySink:
+    """Collects the telemetry hubs of every machine a run creates."""
+
+    def __init__(self) -> None:
+        self._items: list[tuple[str, Telemetry]] = []
+        self._labels: set[str] = set()
+
+    def register(self, label: str, telemetry: Telemetry) -> str:
+        """Track one machine's telemetry (enabling it); returns the
+        de-duplicated label actually used."""
+        base, n = label, 1
+        while label in self._labels:
+            n += 1
+            label = f"{base}-{n}"
+        self._labels.add(label)
+        telemetry.enable()
+        self._items.append((label, telemetry))
+        return label
+
+    @property
+    def items(self) -> list[tuple[str, Telemetry]]:
+        """The registered ``(label, telemetry)`` pairs, in creation order."""
+        return list(self._items)
+
+    def write(self, snapshot_path) -> tuple:
+        """Write snapshot + Chrome trace; returns both paths."""
+        return write_telemetry(snapshot_path, self._items)
+
+    def report(self, n: int = 10) -> str:
+        """The plain-text top-N digest for this run."""
+        return top_report(snapshot_document(self._items), n)
+
+
+def activate(sink: TelemetrySink) -> None:
+    """Make ``sink`` the process-wide active sink."""
+    global _ACTIVE
+    _ACTIVE = sink
+
+
+def deactivate() -> None:
+    """Clear the active sink."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def current() -> TelemetrySink | None:
+    """The active sink, or None when telemetry was not requested."""
+    return _ACTIVE
+
+
+def run_cli(description: str, run_experiment, argv=None) -> int:
+    """Standalone-benchmark main: run the experiment, honouring
+    ``--telemetry-out`` (and printing the top-N digest when set)."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--telemetry-out", metavar="PATH", default=None,
+                        help="write a telemetry JSON snapshot here (plus "
+                             "a Chrome trace next to it)")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="rows in the printed top-N digest")
+    args = parser.parse_args(argv)
+
+    sink = None
+    if args.telemetry_out:
+        sink = TelemetrySink()
+        activate(sink)
+    try:
+        results = run_experiment()
+    finally:
+        deactivate()
+
+    print(json.dumps(results, indent=2, sort_keys=True, default=str))
+    if sink is not None:
+        snapshot_path, trace_path = sink.write(args.telemetry_out)
+        print()
+        print(sink.report(args.top))
+        print()
+        print(f"telemetry snapshot: {snapshot_path}")
+        print(f"chrome trace:       {trace_path} "
+              f"(load in https://ui.perfetto.dev)")
+    return 0

@@ -5,7 +5,9 @@ Usage::
     python -m repro.analysis.report [path/to/results.json]
 
 Prints a compact paper-vs-measured digest of the recorded benchmark run —
-the data EXPERIMENTS.md is written from.
+the data EXPERIMENTS.md is written from.  When a telemetry snapshot is
+given (or ``telemetry.json`` sits next to the results file), the digest
+ends with the top-N "where did the cycles go" section.
 """
 
 from __future__ import annotations
@@ -28,8 +30,8 @@ def _line(out: list[str], text: str = "") -> None:
     out.append(text)
 
 
-def render(results: dict) -> str:
-    """Markdown digest of a recorded run."""
+def render(results: dict, telemetry: dict | None = None) -> str:
+    """Markdown digest of a recorded run (plus optional telemetry)."""
     out: list[str] = ["# Benchmark run digest", ""]
 
     if "table1_edge_calls" in results:
@@ -78,11 +80,23 @@ def render(results: dict) -> str:
             _line(out, f"- {name}")
         _line(out)
 
+    if telemetry is not None:
+        from repro.telemetry.export import top_report
+        _line(out, "## Telemetry")
+        _line(out, "```")
+        _line(out, top_report(telemetry))
+        _line(out, "```")
+        _line(out)
+
     return "\n".join(out)
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point: print the digest for a results file."""
+    """CLI entry point: print the digest for a results file.
+
+    Usage: ``report.py [results.json [telemetry.json]]``.  The telemetry
+    snapshot defaults to ``telemetry.json`` next to the results file.
+    """
     args = argv if argv is not None else sys.argv[1:]
     path = pathlib.Path(args[0]) if args else \
         pathlib.Path(__file__).resolve().parents[3] / "benchmarks" \
@@ -91,7 +105,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no results at {path}; run pytest benchmarks/ first",
               file=sys.stderr)
         return 1
-    print(render(json.loads(path.read_text())))
+    telemetry_path = pathlib.Path(args[1]) if len(args) > 1 else \
+        path.with_name("telemetry.json")
+    telemetry = json.loads(telemetry_path.read_text()) \
+        if telemetry_path.exists() else None
+    print(render(json.loads(path.read_text()), telemetry))
     return 0
 
 

@@ -69,5 +69,11 @@ class Llc:
     def flush_all(self) -> None:
         self._lines.clear()
 
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters for the telemetry collectors."""
+        return {"hits": self.hits, "misses": self.misses,
+                "lines": len(self._lines),
+                "capacity_lines": self.capacity_lines}
+
     def __len__(self) -> int:
         return len(self._lines)

@@ -28,8 +28,13 @@ class CycleCounter:
         self.by_category[category] += cycles
 
     def read(self) -> int:
-        """Current total, like RDTSC."""
-        return self.total
+        """Current total as an integral stamp, like RDTSC.
+
+        ``total`` itself may carry fractional sub-cycle charges (some
+        cost-model terms are amortized averages); the architectural
+        counter software reads is always a whole number of cycles.
+        """
+        return int(self.total)
 
     @contextmanager
     def measure(self) -> Iterator["CycleSpan"]:

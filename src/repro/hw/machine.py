@@ -21,7 +21,7 @@ from repro.hw.memenc import AmdSme, EncryptionEngine, IntelMee, NoEncryption
 from repro.hw.phys import PAGE_SIZE, PhysicalMemory
 from repro.hw.tlb import Tlb
 from repro.hw.tpm import Tpm
-from repro.hw.trace import TraceBuffer
+from repro.telemetry import Telemetry
 
 _ENGINES = {
     "none": NoEncryption,
@@ -73,8 +73,16 @@ class Machine:
         self.iommu = Iommu(self.phys)
         self.idt = Idt()
         self.interrupts = InterruptModel(self.config.interrupt_interval_cycles)
-        self.trace = TraceBuffer()
-        self.trace.attach(self.cycles)
+        # The telemetry hub owns the trace ring; ``machine.trace`` stays
+        # the raw-event surface existing callers/tests know.
+        self.telemetry = Telemetry(self.cycles)
+        self.trace = self.telemetry.ring
+        self.telemetry.add_collector("tlb", self.tlb.stats)
+        self.telemetry.add_collector("llc", self.llc.stats)
+        self.telemetry.add_collector(
+            "encryption",
+            lambda: {"engine": self.encryption.name,
+                     **self.encryption.stats()})
 
     def reboot(self) -> None:
         """Power cycle: PCRs reset, caches/TLB cold, cycle counter keeps going."""

@@ -42,6 +42,10 @@ class EncryptionEngine:
     def reset(self) -> None:
         """Drop any internal metadata state (e.g. on reboot)."""
 
+    def stats(self) -> dict[str, int]:
+        """Engine-internal counters for the telemetry collectors."""
+        return {}
+
 
 class NoEncryption(EncryptionEngine):
     """Plaintext DRAM (the no-protection baselines)."""
@@ -122,3 +126,8 @@ class IntelMee(EncryptionEngine):
 
     def reset(self) -> None:
         self._metadata.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {"metadata_hits": self.metadata_hits,
+                "metadata_misses": self.metadata_misses,
+                "metadata_cached": len(self._metadata)}

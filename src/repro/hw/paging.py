@@ -51,6 +51,27 @@ class Translation:
     refs: int               # page-table memory references made
 
 
+@dataclass
+class PagingStats:
+    """Always-on lightweight walk counters for one page-table domain.
+
+    Like :class:`~repro.hw.tlb.Tlb` hit/miss counts, these are plain int
+    increments — cheap enough to leave unconditional — sampled by the
+    telemetry hardware collectors at snapshot time.
+    """
+
+    walks: int = 0           # translate() calls
+    refs: int = 0            # page-table memory references
+    faults: int = 0          # walks that raised PageFault
+    nested_walks: int = 0    # NestedTranslator two-dimensional walks
+    nested_refs: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"walks": self.walks, "refs": self.refs,
+                "faults": self.faults, "nested_walks": self.nested_walks,
+                "nested_refs": self.nested_refs}
+
+
 def _index(va: int, level: int) -> int:
     """Index into the ``level``-th table (level 3 = root) for ``va``."""
     return (va >> (12 + 9 * level)) & (ENTRIES_PER_TABLE - 1)
@@ -70,10 +91,12 @@ class PageTable:
     """
 
     def __init__(self, phys: PhysicalMemory, frame_alloc: Callable[[], int],
-                 frame_free: Callable[[int], None] | None = None) -> None:
+                 frame_free: Callable[[int], None] | None = None,
+                 stats: PagingStats | None = None) -> None:
         self.phys = phys
         self._alloc = frame_alloc
         self._free = frame_free
+        self.stats = stats
         self.root_pa = frame_alloc()
         self._table_frames: set[int] = {self.root_pa}
 
@@ -139,6 +162,22 @@ class PageTable:
     def translate(self, va: int, *, write: bool = False, user: bool = True,
                   fetch: bool = False, set_accessed: bool = True) -> Translation:
         """Walk the table; raise :class:`PageFault` on failure."""
+        stats = self.stats
+        if stats is None:
+            return self._walk(va, write=write, user=user, fetch=fetch,
+                              set_accessed=set_accessed)
+        stats.walks += 1
+        try:
+            result = self._walk(va, write=write, user=user, fetch=fetch,
+                                set_accessed=set_accessed)
+        except PageFault:
+            stats.faults += 1
+            raise
+        stats.refs += result.refs
+        return result
+
+    def _walk(self, va: int, *, write: bool, user: bool,
+              fetch: bool, set_accessed: bool) -> Translation:
         self._check_canonical(va)
         table_pa = self.root_pa
         refs = 0
@@ -227,12 +266,16 @@ class NestedTranslator:
     through the NPT, so a full 4+4-level walk makes up to 24 references.
     """
 
-    def __init__(self, gpt: PageTable, npt: PageTable) -> None:
+    def __init__(self, gpt: PageTable, npt: PageTable,
+                 stats: PagingStats | None = None) -> None:
         self.gpt = gpt
         self.npt = npt
+        self.stats = stats
 
     def translate(self, gva: int, *, write: bool = False, user: bool = True,
                   fetch: bool = False) -> Translation:
+        if self.stats is not None:
+            self.stats.nested_walks += 1
         refs = 0
         table_gpa = self.gpt.root_pa
         for level in range(LEVELS - 1, -1, -1):
@@ -253,6 +296,8 @@ class NestedTranslator:
                 leaf_hpa, npt_refs = self._npt_translate(leaf_gpa,
                                                          write=write)
                 refs += npt_refs
+                if self.stats is not None:
+                    self.stats.nested_refs += refs
                 return Translation(pa=leaf_hpa, flags=flags, refs=refs)
             table_gpa = entry & _ADDR_MASK
 

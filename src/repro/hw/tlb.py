@@ -67,5 +67,11 @@ class Tlb:
             del self._entries[key]
         self.flushes += 1
 
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/flush counters for the telemetry collectors."""
+        return {"hits": self.hits, "misses": self.misses,
+                "flushes": self.flushes, "entries": len(self._entries),
+                "capacity": self.capacity}
+
     def __len__(self) -> int:
         return len(self._entries)

@@ -16,14 +16,14 @@ from typing import Iterator
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded event."""
+    """One recorded event, stamped with the integral cycle count."""
 
-    cycle: float
+    cycle: int
     kind: str          # "eenter" | "eexit" | "aex" | "hypercall" | ...
     detail: str
 
     def __str__(self) -> str:
-        return f"[{self.cycle:>14,.0f}] {self.kind:<12} {self.detail}"
+        return f"[{self.cycle:>14,}] {self.kind:<12} {self.detail}"
 
 
 class TraceBuffer:
@@ -49,7 +49,7 @@ class TraceBuffer:
     def record(self, kind: str, detail: str = "") -> None:
         if not self.enabled:
             return
-        cycle = self._cycles.read() if self._cycles is not None else 0
+        cycle = int(self._cycles.read()) if self._cycles is not None else 0
         self._events.append(TraceEvent(cycle=cycle, kind=kind,
                                        detail=detail))
 

@@ -9,7 +9,6 @@ ENCLU leaves and the page-fault path.
 
 from __future__ import annotations
 
-import inspect
 from dataclasses import dataclass
 
 from repro.crypto.hashes import hkdf, hmac_sha256, sha256
@@ -85,7 +84,7 @@ class RustMonitor:
                                cfg.reserved_base + cfg.reserved_size)
 
         self.world = WorldSwitchEngine(machine.cpu, machine.tlb,
-                                       machine.trace)
+                                       machine.telemetry)
         self.enclaves: dict[int, Enclave] = {}
         self._next_enclave_id = 1
         self._keys: KeyDerivation | None = None
@@ -140,12 +139,14 @@ class RustMonitor:
 
     # --------------------------------------------------------------- helpers --
 
-    def _charge_hypercall(self) -> None:
+    def _charge_hypercall(self, op: str) -> None:
         self.hypercalls += 1
         self.machine.cycles.charge(costs.HYPERCALL_ROUNDTRIP, "hypercall")
-        if self.machine.trace.enabled:
-            caller = inspect.stack()[1].function
-            self.machine.trace.record("hypercall", caller)
+        tel = self.machine.telemetry
+        if tel.ring.enabled:
+            tel.ring.record("hypercall", op)
+        if tel.enabled:
+            tel.registry.counter("monitor", "hypercalls", op=op).inc()
 
     def _enclave(self, enclave_id: int) -> Enclave:
         enclave = self.enclaves.get(enclave_id)
@@ -196,13 +197,14 @@ class RustMonitor:
     def ecreate(self, config: EnclaveConfig, *, size: int,
                 base: int = ENCLAVE_BASE_VA) -> int:
         """Emulated ECREATE: allocate the enclave and its page table."""
-        self._charge_hypercall()
+        self._charge_hypercall("ecreate")
         if size <= 0 or size % PAGE_SIZE:
             raise EnclaveError("ELRANGE size must be page aligned")
         enclave_id = self._next_enclave_id
         self._next_enclave_id += 1
         pt = PageTable(self.machine.phys, self.monitor_pool.alloc,
-                       self.monitor_pool.free)
+                       self.monitor_pool.free,
+                       stats=self.machine.telemetry.paging_stats("enclave"))
         enclave = Enclave(enclave_id, config, base=base, size=size,
                           page_table=pt)
         self.enclaves[enclave_id] = enclave
@@ -212,7 +214,7 @@ class RustMonitor:
              page_type: PageType = PageType.REG,
              perms: PagePerm = PagePerm.RW, measure: bool = True) -> None:
         """Emulated EADD: commit one measured page from the EPC pool."""
-        self._charge_hypercall()
+        self._charge_hypercall("eadd")
         enclave = self._enclave(enclave_id)
         enclave.require_state(EnclaveState.CREATED)
         if len(content) > PAGE_SIZE:
@@ -234,14 +236,14 @@ class RustMonitor:
     def reserve_region(self, enclave_id: int, start_va: int, size: int,
                        perms: PagePerm = PagePerm.RW) -> None:
         """Declare a demand-committed region (EDMM: on-demand heap/stack)."""
-        self._charge_hypercall()
+        self._charge_hypercall("reserve_region")
         self._enclave(enclave_id).reserve(start_va, size, perms)
 
     def einit(self, enclave_id: int, sigstruct: Sigstruct, *,
               marshalling: tuple[int, int, list[int]] | None = None) -> bytes:
         """Emulated EINIT: verify SIGSTRUCT, finalize the measurement, and
         register the marshalling buffer.  Returns MRENCLAVE."""
-        self._charge_hypercall()
+        self._charge_hypercall("einit")
         enclave = self._enclave(enclave_id)
         enclave.require_state(EnclaveState.CREATED)
         if not sigstruct.verify():
@@ -270,7 +272,7 @@ class RustMonitor:
 
     def eremove(self, enclave_id: int) -> None:
         """Tear the enclave down; scrub and free every page."""
-        self._charge_hypercall()
+        self._charge_hypercall("eremove")
         enclave = self._enclave(enclave_id)
         for page in enclave.pages.values():
             self.epc_pool.free(page.pa)
@@ -296,34 +298,35 @@ class RustMonitor:
         """
         enclave = self._enclave(enclave_id)
         enclave.require_state(EnclaveState.INITIALIZED)
-        self.machine.trace.record("pagefault",
-                                  f"enclave={enclave_id} va={va:#x}")
-        state = self._swap_states.get(enclave_id)
-        if state is not None and (va & ~(PAGE_SIZE - 1)) in state.records:
-            swap_in_page(self, enclave, state, self.swap_store, va)
-            return
-        region = enclave.reserved_region_for(va)
-        if region is not None and enclave.page_at(va) is None:
-            if enclave.mode is EnclaveMode.SGX:
-                # The SGX2 EDMM path: AEX out, driver EAUG, ERESUME, then
-                # the enclave must EACCEPT the page (Sec 3.2).
-                self.machine.cpu.charge_steps(costs.AEX_STEPS["sgx"],
-                                              "edmm-sgx2")
-                self.machine.cycles.charge(costs.SGX2_EDMM_DRIVER_CYCLES,
-                                           "edmm-sgx2")
-                self.machine.cpu.charge_steps(costs.ERESUME_STEPS["sgx"],
-                                              "edmm-sgx2")
-                self.machine.cycles.charge(costs.SGX2_EACCEPT_CYCLES,
-                                           "edmm-sgx2")
-            else:
-                # HyperEnclave: the trusted monitor just commits the page.
-                self.machine.cpu.charge_steps(costs.DEMAND_PAGING_PF_STEPS,
-                                              "demand-paging")
-            pa = self._alloc_epc_frame(enclave_id)
-            enclave.commit_page(va & ~(PAGE_SIZE - 1), pa, region.perms)
-            return
-        raise PageFault(va, write=write, present=enclave.page_at(va)
-                        is not None)
+        tel = self.machine.telemetry
+        tel.event("pagefault", lambda: f"enclave={enclave_id} va={va:#x}")
+        with tel.span("monitor.pagefault", enclave=enclave_id):
+            state = self._swap_states.get(enclave_id)
+            if state is not None and (va & ~(PAGE_SIZE - 1)) in state.records:
+                swap_in_page(self, enclave, state, self.swap_store, va)
+                return
+            region = enclave.reserved_region_for(va)
+            if region is not None and enclave.page_at(va) is None:
+                if enclave.mode is EnclaveMode.SGX:
+                    # The SGX2 EDMM path: AEX out, driver EAUG, ERESUME,
+                    # then the enclave must EACCEPT the page (Sec 3.2).
+                    self.machine.cpu.charge_steps(costs.AEX_STEPS["sgx"],
+                                                  "edmm-sgx2")
+                    self.machine.cycles.charge(costs.SGX2_EDMM_DRIVER_CYCLES,
+                                               "edmm-sgx2")
+                    self.machine.cpu.charge_steps(costs.ERESUME_STEPS["sgx"],
+                                                  "edmm-sgx2")
+                    self.machine.cycles.charge(costs.SGX2_EACCEPT_CYCLES,
+                                               "edmm-sgx2")
+                else:
+                    # HyperEnclave: the trusted monitor commits the page.
+                    self.machine.cpu.charge_steps(
+                        costs.DEMAND_PAGING_PF_STEPS, "demand-paging")
+                pa = self._alloc_epc_frame(enclave_id)
+                enclave.commit_page(va & ~(PAGE_SIZE - 1), pa, region.perms)
+                return
+            raise PageFault(va, write=write, present=enclave.page_at(va)
+                            is not None)
 
     def enclave_mprotect(self, enclave_id: int, va: int, npages: int,
                          perms: PagePerm) -> None:
@@ -341,7 +344,7 @@ class RustMonitor:
             self.machine.cycles.charge(npages * costs.SGX2_EACCEPT_CYCLES,
                                        "edmm-sgx2")
         else:
-            self._charge_hypercall()
+            self._charge_hypercall("enclave_mprotect")
         for i in range(npages):
             page_va = va + i * PAGE_SIZE
             enclave.protect_page(page_va, perms)
@@ -362,7 +365,7 @@ class RustMonitor:
             self.machine.cycles.charge(costs.SGX2_EDMM_DRIVER_CYCLES,
                                        "edmm-sgx2")
         else:
-            self._charge_hypercall()
+            self._charge_hypercall("enclave_trim")
         trimmed = 0
         for i in range(npages):
             page_va = (va + i * PAGE_SIZE) & ~(PAGE_SIZE - 1)
@@ -531,7 +534,7 @@ class RustMonitor:
         Only DEBUG enclaves allow it — production enclaves are opaque to
         everything below the monitor, debugger included.
         """
-        self._charge_hypercall()
+        self._charge_hypercall("debug_read")
         enclave = self._enclave(enclave_id)
         if not enclave.secs.debug:
             raise SecurityViolation(
@@ -556,7 +559,7 @@ class RustMonitor:
         """Bump this enclave's TPM NV counter; returns the new value."""
         enclave = self._enclave(enclave_id)
         enclave.require_state(EnclaveState.INITIALIZED)
-        self._charge_hypercall()
+        self._charge_hypercall("monotonic_counter_increment")
         index = self._nv_index_for(enclave)
         tpm = self.machine.tpm
         try:
@@ -568,7 +571,7 @@ class RustMonitor:
     def monotonic_counter_read(self, enclave_id: int) -> int:
         enclave = self._enclave(enclave_id)
         enclave.require_state(EnclaveState.INITIALIZED)
-        self._charge_hypercall()
+        self._charge_hypercall("monotonic_counter_read")
         index = self._nv_index_for(enclave)
         try:
             return self.machine.tpm.nv_counter_read(index)

@@ -108,21 +108,26 @@ def swap_out_page(monitor, enclave, state: EnclaveSwapState,
         raise MonitorError(f"swap-out of uncommitted page {page_va:#x}")
     if page_va in state.records:
         raise MonitorError(f"page {page_va:#x} already swapped")
-    phys = monitor.machine.phys
-    content = phys.read(page.pa, PAGE_SIZE)
-    version = state.next_version()
-    nonce = monitor.machine.tpm.random(16)
-    blob = aead_encrypt(state.key, nonce, content,
-                        aad=_aad(page_va, version))
-    token = store.put(blob)
-    state.records[page_va] = SwappedPageRecord(token=token, version=version,
-                                               perms=page.perms)
-    # Scrub and free the frame; drop the mapping and stale TLB entries.
-    enclave.pt.unmap(page_va)
-    monitor.epc_pool.free(page.pa)
-    del enclave.pages[page.offset]
-    monitor._tlb_shootdown(enclave.enclave_id, page_va)
-    monitor.machine.cycles.charge(SWAP_OUT_CYCLES, "swap-out")
+    tel = monitor.machine.telemetry
+    tel.event("swap-out",
+              lambda: f"enclave={enclave.enclave_id} va={page_va:#x}")
+    with tel.span("monitor.swap_out", enclave=enclave.enclave_id):
+        phys = monitor.machine.phys
+        content = phys.read(page.pa, PAGE_SIZE)
+        version = state.next_version()
+        nonce = monitor.machine.tpm.random(16)
+        blob = aead_encrypt(state.key, nonce, content,
+                            aad=_aad(page_va, version))
+        token = store.put(blob)
+        state.records[page_va] = SwappedPageRecord(
+            token=token, version=version, perms=page.perms)
+        # Scrub and free the frame; drop the mapping and stale TLB entries.
+        enclave.pt.unmap(page_va)
+        monitor.epc_pool.free(page.pa)
+        del enclave.pages[page.offset]
+        monitor._tlb_shootdown(enclave.enclave_id, page_va)
+        monitor.machine.cycles.charge(SWAP_OUT_CYCLES, "swap-out")
+    tel.count("monitor", "swap.pages_out")
     return token
 
 
@@ -133,20 +138,25 @@ def swap_in_page(monitor, enclave, state: EnclaveSwapState,
     record = state.records.get(page_va)
     if record is None:
         raise MonitorError(f"page {page_va:#x} is not swapped")
-    blob = store.get(record.token)
-    try:
-        content = aead_decrypt(state.key, blob,
-                               aad=_aad(page_va, record.version))
-    except SealError as exc:
-        raise SecurityViolation(
-            f"swap-in integrity failure for enclave "
-            f"{enclave.enclave_id} page {page_va:#x}: the untrusted "
-            f"backing store returned a tampered/substituted/stale blob "
-            f"({exc})") from exc
-    # Under pool pressure the swap-in itself may need to evict a victim.
-    pa = monitor._alloc_epc_frame(enclave.enclave_id)
-    monitor.machine.phys.write(pa, content)
-    enclave.commit_page(page_va, pa, record.perms)
-    del state.records[page_va]
-    store.drop(record.token)
-    monitor.machine.cycles.charge(SWAP_IN_CYCLES, "swap-in")
+    tel = monitor.machine.telemetry
+    tel.event("swap-in",
+              lambda: f"enclave={enclave.enclave_id} va={page_va:#x}")
+    with tel.span("monitor.swap_in", enclave=enclave.enclave_id):
+        blob = store.get(record.token)
+        try:
+            content = aead_decrypt(state.key, blob,
+                                   aad=_aad(page_va, record.version))
+        except SealError as exc:
+            raise SecurityViolation(
+                f"swap-in integrity failure for enclave "
+                f"{enclave.enclave_id} page {page_va:#x}: the untrusted "
+                f"backing store returned a tampered/substituted/stale blob "
+                f"({exc})") from exc
+        # Under pool pressure the swap-in itself may need to evict a victim.
+        pa = monitor._alloc_epc_frame(enclave.enclave_id)
+        monitor.machine.phys.write(pa, content)
+        enclave.commit_page(page_va, pa, record.perms)
+        del state.records[page_va]
+        store.drop(record.token)
+        monitor.machine.cycles.charge(SWAP_IN_CYCLES, "swap-in")
+    tel.count("monitor", "swap.pages_in")

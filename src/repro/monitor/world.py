@@ -15,6 +15,7 @@ from repro.hw.cpu import Cpu, CpuMode
 from repro.hw.tlb import Tlb
 from repro.monitor.enclave import Enclave
 from repro.monitor.structs import EnclaveMode, Tcs
+from repro.telemetry import NULL_SPAN, Telemetry
 
 _ENCLAVE_CPU_MODE = {
     EnclaveMode.GU: CpuMode.GUEST_USER,
@@ -27,17 +28,28 @@ _ENCLAVE_CPU_MODE = {
 class WorldSwitchEngine:
     """Drives EENTER / EEXIT / AEX / ERESUME for one platform."""
 
-    def __init__(self, cpu: Cpu, tlb: Tlb, trace=None) -> None:
+    def __init__(self, cpu: Cpu, tlb: Tlb,
+                 telemetry: Telemetry | None = None) -> None:
         self.cpu = cpu
         self.tlb = tlb
-        self.trace = trace
+        self.telemetry = telemetry
         self.enters = 0
         self.exits = 0
         self.aexes = 0
 
-    def _record(self, kind: str, detail: str) -> None:
-        if self.trace is not None:
-            self.trace.record(kind, detail)
+    def _event(self, kind: str, detail_fn) -> None:
+        # Detail strings are built lazily: the disabled path pays one
+        # branch, never an f-string.
+        tel = self.telemetry
+        if tel is not None and tel.ring.enabled:
+            tel.ring.record(kind, detail_fn())
+
+    def _span(self, name: str, enclave: Enclave):
+        tel = self.telemetry
+        if tel is None or not tel.enabled:
+            return NULL_SPAN
+        return tel.span(name, enclave=enclave.enclave_id,
+                        mode=enclave.mode.value)
 
     @staticmethod
     def _mode_key(enclave: Enclave) -> str:
@@ -62,14 +74,15 @@ class WorldSwitchEngine:
         if tcs not in enclave.tcs_list:
             raise EnclaveError("TCS does not belong to this enclave")
         mode = self._mode_key(enclave)
-        self.cpu.charge_steps(costs.SWITCH_COSTS[mode].eenter,
-                              f"eenter:{mode}")
-        self._flush_for(enclave)
+        with self._span("world.eenter", enclave):
+            self.cpu.charge_steps(costs.SWITCH_COSTS[mode].eenter,
+                                  f"eenter:{mode}")
+            self._flush_for(enclave)
         enclave.registered_aep = aep
         self.cpu.mode = _ENCLAVE_CPU_MODE[enclave.mode]
         self.enters += 1
-        self._record("eenter", f"enclave={enclave.enclave_id} "
-                               f"mode={mode} tcs={tcs.index}")
+        self._event("eenter", lambda: f"enclave={enclave.enclave_id} "
+                                      f"mode={mode} tcs={tcs.index}")
 
     def eexit(self, enclave: Enclave, target: int) -> None:
         """Leave the enclave; the jump target is validated against the AEP.
@@ -85,12 +98,14 @@ class WorldSwitchEngine:
                 f"EEXIT to {target:#x} blocked: only the registered AEP "
                 f"{enclave.registered_aep:#x} is a legal exit target")
         mode = self._mode_key(enclave)
-        self.cpu.charge_steps(costs.SWITCH_COSTS[mode].eexit,
-                              f"eexit:{mode}")
-        self._flush_for(enclave)
+        with self._span("world.eexit", enclave):
+            self.cpu.charge_steps(costs.SWITCH_COSTS[mode].eexit,
+                                  f"eexit:{mode}")
+            self._flush_for(enclave)
         self.cpu.mode = CpuMode.GUEST_USER
         self.exits += 1
-        self._record("eexit", f"enclave={enclave.enclave_id} mode={mode}")
+        self._event("eexit",
+                    lambda: f"enclave={enclave.enclave_id} mode={mode}")
 
     # -- asynchronous exits ----------------------------------------------------------
 
@@ -105,11 +120,13 @@ class WorldSwitchEngine:
         tcs.current_ssa += 1
         enclave.interrupted_tcs = tcs
         mode = self._mode_key(enclave)
-        self.cpu.charge_steps(costs.AEX_STEPS[mode], f"aex:{mode}")
-        self._flush_for(enclave)
+        with self._span("world.aex", enclave):
+            self.cpu.charge_steps(costs.AEX_STEPS[mode], f"aex:{mode}")
+            self._flush_for(enclave)
         self.cpu.mode = CpuMode.GUEST_KERNEL   # the primary OS takes over
         self.aexes += 1
-        self._record("aex", f"enclave={enclave.enclave_id} vector={vector}")
+        self._event("aex",
+                    lambda: f"enclave={enclave.enclave_id} vector={vector}")
 
     def eresume(self, enclave: Enclave, tcs: Tcs) -> None:
         """Resume an interrupted enclave thread from its SSA frame."""
@@ -120,9 +137,13 @@ class WorldSwitchEngine:
         frame.valid = False
         enclave.interrupted_tcs = None
         mode = self._mode_key(enclave)
-        self.cpu.charge_steps(costs.ERESUME_STEPS[mode], f"eresume:{mode}")
-        self._flush_for(enclave)
+        with self._span("world.eresume", enclave):
+            self.cpu.charge_steps(costs.ERESUME_STEPS[mode],
+                                  f"eresume:{mode}")
+            self._flush_for(enclave)
         self.cpu.mode = _ENCLAVE_CPU_MODE[enclave.mode]
+        self._event("eresume",
+                    lambda: f"enclave={enclave.enclave_id} mode={mode}")
 
     # -- SDK-path cost hooks (charged by the runtimes) -----------------------------
 

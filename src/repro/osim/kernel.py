@@ -59,7 +59,8 @@ class Kernel:
         pid = self._next_pid
         self._next_pid += 1
         pt = PageTable(self.machine.phys, self.frame_pool.alloc,
-                       self.frame_pool.free)
+                       self.frame_pool.free,
+                       stats=self.machine.telemetry.paging_stats("os"))
         process = Process(pid, pt)
         self.processes[pid] = process
         self.run_queue.append(pid)
@@ -92,6 +93,7 @@ class Kernel:
         self.machine.cycles.charge(costs.SYSCALL_ROUNDTRIP, "syscall")
         if work_cycles:
             self.machine.cycles.charge(work_cycles, "kernel-work")
+        self.machine.telemetry.count("os", "syscalls")
 
     # -- memory management ----------------------------------------------------------
 
@@ -99,26 +101,29 @@ class Kernel:
              populate: bool = False, addr: int | None = None) -> VmArea:
         """Anonymous mmap; ``populate`` commits frames eagerly
         (MAP_POPULATE, used for the marshalling buffer, Sec 5.3)."""
-        self.charge_syscall(500)
-        if size <= 0 or size % PAGE_SIZE:
-            raise OsError("mmap size must be a positive page multiple")
-        start = addr if addr is not None else process.next_mmap_va(size)
-        if process.vma_at(start) or process.vma_at(start + size - 1):
-            raise OsError(f"mmap range at {start:#x} overlaps an existing VMA")
-        vma = VmArea(start=start, size=size, writable=writable,
-                     populated=populate)
-        process.vmas.append(vma)
-        if populate:
-            flags = PageTableFlags.URW if writable else PageTableFlags.UR
-            for i in range(size // PAGE_SIZE):
-                pa = self.frame_pool.alloc()
-                vma.frames.append(pa)
-                process.pt.map(start + i * PAGE_SIZE, pa, flags)
-            # Guest PTE fills + page zeroing are the dominant cost.
-            self.machine.cycles.charge(180 * (size // PAGE_SIZE),
-                                       "pte-fill")
-            self._charge_npt_fill(size // PAGE_SIZE)
-        return vma
+        with self.machine.telemetry.span("os.mmap", pid=process.pid,
+                                         populate=populate):
+            self.charge_syscall(500)
+            if size <= 0 or size % PAGE_SIZE:
+                raise OsError("mmap size must be a positive page multiple")
+            start = addr if addr is not None else process.next_mmap_va(size)
+            if process.vma_at(start) or process.vma_at(start + size - 1):
+                raise OsError(
+                    f"mmap range at {start:#x} overlaps an existing VMA")
+            vma = VmArea(start=start, size=size, writable=writable,
+                         populated=populate)
+            process.vmas.append(vma)
+            if populate:
+                flags = PageTableFlags.URW if writable else PageTableFlags.UR
+                for i in range(size // PAGE_SIZE):
+                    pa = self.frame_pool.alloc()
+                    vma.frames.append(pa)
+                    process.pt.map(start + i * PAGE_SIZE, pa, flags)
+                # Guest PTE fills + page zeroing are the dominant cost.
+                self.machine.cycles.charge(180 * (size // PAGE_SIZE),
+                                           "pte-fill")
+                self._charge_npt_fill(size // PAGE_SIZE)
+            return vma
 
     def munmap(self, process: Process, vma: VmArea) -> None:
         self.charge_syscall(400)
@@ -204,6 +209,8 @@ class Kernel:
         lands in the OS, which signals the uRTS handler.
         """
         self.machine.cycles.charge(costs.OS_SIGNAL_DISPATCH, "signal")
+        self.machine.telemetry.event(
+            "signal", lambda: f"pid={process.pid} sig={signal}")
         handler = process.signal_handlers.get(signal)
         if handler is None:
             raise OsError(

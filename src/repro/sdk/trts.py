@@ -286,22 +286,28 @@ class EnclaveContext:
         tcs = self.current_tcs
         if tcs is None:
             raise EnclaveError("exception outside an ECALL")
-        self._world.aex(enclave, tcs, vector)
-        self._handle.kernel.deliver_signal(
-            self._handle.process, _signal_for(vector),
-            vector=vector)
-        # Phase 2: the uRTS re-enters the enclave to run the handler
-        # (a full internal ECALL, which is why GU/SGX are so slow here).
-        mode = enclave.mode.value
-        self._world.eenter(enclave, tcs, self._handle.AEP)
-        self._world.charge_ecall_warmup(enclave)
-        for _, cyc in costs.ECALL_SDK_STEPS:
-            self._machine.cycles.charge(cyc, "sdk-ecall")
-        self._machine.cycles.charge(costs.EXCEPTION_HANDLER_WORK,
-                                    f"exception:{mode}")
-        self._run_handler(self.exc_handler, vector)
-        self._world.eexit(enclave, self._handle.AEP)
-        self._world.eresume(enclave, tcs)
+        tel = self._machine.telemetry
+        tel.count("sdk", "exceptions.two_phase", vector=vector,
+                  mode=enclave.mode.value)
+        with tel.span("trts.exception", enclave=enclave.enclave_id,
+                      vector=vector):
+            self._world.aex(enclave, tcs, vector)
+            self._handle.kernel.deliver_signal(
+                self._handle.process, _signal_for(vector),
+                vector=vector)
+            # Phase 2: the uRTS re-enters the enclave to run the handler
+            # (a full internal ECALL, which is why GU/SGX are so slow
+            # here).
+            mode = enclave.mode.value
+            self._world.eenter(enclave, tcs, self._handle.AEP)
+            self._world.charge_ecall_warmup(enclave)
+            for _, cyc in costs.ECALL_SDK_STEPS:
+                self._machine.cycles.charge(cyc, "sdk-ecall")
+            self._machine.cycles.charge(costs.EXCEPTION_HANDLER_WORK,
+                                        f"exception:{mode}")
+            self._run_handler(self.exc_handler, vector)
+            self._world.eexit(enclave, self._handle.AEP)
+            self._world.eresume(enclave, tcs)
 
     def _dispatch_protection_fault(self, va: int) -> None:
         """The GC scenario (Table 2 #PF): restore permissions in-handler."""

@@ -48,6 +48,7 @@ def _charge_memcpy(machine, nbytes: int) -> None:
     machine.cycles.charge(
         costs.MEMCPY_FIXED_CYCLES + lines * costs.MEMCPY_CYCLES_PER_LINE,
         "memcpy")
+    machine.telemetry.count("sdk", "marshalling.bytes", nbytes)
 
 
 class UntrustedRuntime:
@@ -63,6 +64,13 @@ class UntrustedRuntime:
     def create_enclave(self, image: EnclaveImage, signing_key, *,
                        use_marshalling: bool = True) -> "EnclaveHandle":
         """Load, measure, and initialize an enclave from ``image``."""
+        with self.machine.telemetry.span("sdk.create_enclave",
+                                         mode=image.config.mode.value):
+            return self._do_create(image, signing_key,
+                                   use_marshalling=use_marshalling)
+
+    def _do_create(self, image: EnclaveImage, signing_key, *,
+                   use_marshalling: bool) -> "EnclaveHandle":
         layout = compute_layout(image)
         sigstruct = image.sign(signing_key)
 
@@ -201,6 +209,11 @@ class EnclaveHandle:
                 f"ECALL to private trusted function {name!r}")
         func = self.image.trusted_funcs[name]
 
+        with self.machine.telemetry.span("sdk.ecall", func=name,
+                                         enclave=self.enclave_id):
+            return self._do_ecall(spec, func, kwargs)
+
+    def _do_ecall(self, spec: FuncSpec, func, kwargs):
         _charge_steps(self.machine, _URTS_PRE, "sdk-ecall")
         tcs = self.enclave.acquire_tcs()
         frame_save = self._ecall_cursor
@@ -377,6 +390,14 @@ class EnclaveHandle:
             raise SdkError("OCALL outside an ECALL")
         switchless = self.switchless_workers > 0
 
+        with self.machine.telemetry.span("sdk.ocall", func=name,
+                                         enclave=self.enclave_id,
+                                         switchless=switchless):
+            return self._do_ocall(ctx, spec, impl, tcs, switchless, name,
+                                  kwargs)
+
+    def _do_ocall(self, ctx: EnclaveContext, spec: FuncSpec, impl, tcs,
+                  switchless: bool, name: str, kwargs):
         if not switchless:
             _charge_steps(self.machine, _OCALL_TRTS_PRE, "sdk-ocall")
         frame_save = self._ocall_cursor

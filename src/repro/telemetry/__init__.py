@@ -1,0 +1,25 @@
+"""Platform-wide telemetry: metrics registry, cycle-accurate spans,
+event ring, and exporters (JSON snapshot / Chrome trace / top-N text).
+
+See docs/OBSERVABILITY.md for the full API and file formats.
+"""
+
+from repro.telemetry.core import (NULL_SPAN, Span, SpanRecord, Telemetry,
+                                  cycles_by_subsystem,
+                                  subsystem_for_category)
+from repro.telemetry.metrics import (Counter, Gauge, Histogram,
+                                     MetricsRegistry)
+from repro.telemetry.export import (chrome_trace_document,
+                                    machine_snapshot, snapshot_document,
+                                    top_report, trace_path_for,
+                                    write_telemetry)
+from repro.telemetry.schema import SchemaError, validate_snapshot
+
+__all__ = [
+    "NULL_SPAN", "Span", "SpanRecord", "Telemetry",
+    "cycles_by_subsystem", "subsystem_for_category",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "chrome_trace_document", "machine_snapshot", "snapshot_document",
+    "top_report", "trace_path_for", "write_telemetry",
+    "SchemaError", "validate_snapshot",
+]

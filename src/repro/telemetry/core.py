@@ -1,0 +1,247 @@
+"""The per-machine telemetry hub: spans, events, metrics, collectors.
+
+One :class:`Telemetry` instance hangs off every :class:`~repro.hw.machine.
+Machine`.  It owns
+
+* the :class:`~repro.hw.trace.TraceBuffer` event ring (the pre-existing
+  tracing surface, kept as the raw-event backend),
+* a :class:`~repro.telemetry.metrics.MetricsRegistry`,
+* the cycle-accurate span API, and
+* pull-based hardware collectors (TLB, LLC, encryption engine, paging)
+  sampled at snapshot time.
+
+Spans *observe* the simulated clock — they never charge cycles — so
+enabling telemetry cannot perturb a calibrated benchmark.  Disabled,
+``span()`` is a single branch returning a shared no-op context manager
+and ``event()`` a single branch, so the disabled path stays bit-identical
+to a build without telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.hw.trace import TraceBuffer
+from repro.telemetry.metrics import MetricsRegistry
+
+# -- cycle-category -> subsystem attribution ---------------------------------
+#
+# Every cycle charged anywhere in the simulator carries a category string
+# (see repro.hw.cycles.CycleCounter.charge).  This table folds those
+# categories into the coarse subsystems the paper's evaluation talks
+# about; because the mapping is total (unknown categories fall into
+# "other"), per-subsystem totals always sum exactly to the run total.
+
+_EXACT_SUBSYSTEM = {
+    "hypercall": "monitor", "tlb-shootdown": "monitor",
+    "pte-update": "monitor", "edmm-sgx2": "monitor",
+    "demand-paging": "monitor", "swap-in": "monitor",
+    "swap-out": "monitor", "interrupt": "monitor",
+    "measure": "monitor", "seal": "monitor", "seal-key": "monitor",
+    "tlb-warmup": "world",
+    "sdk-ecall": "sdk", "sdk-ocall": "sdk", "memcpy": "sdk",
+    "switchless": "sdk",
+    "enclave-memory": "memory", "native-memory": "memory",
+    "memory": "memory", "compute": "memory",
+    "own-pt-update": "memory", "invlpg": "memory",
+    "syscall": "os", "kernel-work": "os", "ctxsw": "os",
+    "pte-fill": "os", "os-fault": "os", "signal": "os",
+    "npt-fill": "os", "vfs": "os", "link": "os",
+}
+_PREFIX_SUBSYSTEM = {
+    "eenter": "world", "eexit": "world", "aex": "world",
+    "eresume": "world", "exception": "world", "pf": "world",
+}
+
+
+def subsystem_for_category(category: str) -> str:
+    """Fold a cycle-charge category into a subsystem name."""
+    sub = _EXACT_SUBSYSTEM.get(category)
+    if sub is not None:
+        return sub
+    head = category.split(":", 1)[0]
+    return _PREFIX_SUBSYSTEM.get(head, _EXACT_SUBSYSTEM.get(head, "other"))
+
+
+def cycles_by_subsystem(breakdown: dict[str, int | float]
+                        ) -> dict[str, int | float]:
+    """Aggregate a per-category cycle breakdown into subsystems."""
+    out: dict[str, int | float] = {}
+    for category, cycles in breakdown.items():
+        sub = subsystem_for_category(category)
+        out[sub] = out.get(sub, 0) + cycles
+    return out
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One completed span (feeds the Chrome trace exporter)."""
+
+    name: str
+    labels: dict
+    start_cycle: int
+    dur_cycles: int
+    self_cycles: int
+    start_wall_ns: int
+    dur_wall_ns: int
+    depth: int
+    error: bool
+
+
+class _NullSpan:
+    """The shared disabled-path span: enter/exit are no-ops."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A cycle-accurate, nesting measurement window.
+
+    On exit the span aggregates into the registry under its subsystem
+    (the ``name`` prefix before the first dot): call count, total
+    cycles, *self* cycles (total minus enclosed child spans), a log-scale
+    cycle histogram, and host wall-clock nanoseconds.
+    """
+
+    __slots__ = ("_telemetry", "name", "labels", "start_cycle",
+                 "_start_wall", "_child_cycles", "_depth")
+
+    def __init__(self, telemetry: "Telemetry", name: str,
+                 labels: dict) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        self.labels = labels
+
+    def __enter__(self) -> "Span":
+        tel = self._telemetry
+        self._child_cycles = 0
+        self._depth = len(tel._stack)
+        tel._stack.append(self)
+        self._start_wall = time.perf_counter_ns()
+        self.start_cycle = int(tel.cycles.read())
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tel = self._telemetry
+        dur = int(tel.cycles.read()) - self.start_cycle
+        dur_wall = time.perf_counter_ns() - self._start_wall
+        stack = tel._stack
+        # Unwind robustly: an exception may have skipped child exits.
+        while stack:
+            top = stack.pop()
+            if top is self:
+                break
+        self_cycles = max(dur - self._child_cycles, 0)
+        if stack:
+            stack[-1]._child_cycles += dur
+        subsystem, _, short = self.name.partition(".")
+        short = short or subsystem
+        reg = tel.registry
+        labels = self.labels
+        reg.counter(subsystem, short + ".calls", **labels).inc()
+        reg.counter(subsystem, short + ".cycles", **labels).inc(dur)
+        reg.counter(subsystem, short + ".self_cycles",
+                    **labels).inc(self_cycles)
+        reg.counter(subsystem, short + ".wall_ns", **labels).inc(dur_wall)
+        reg.histogram(subsystem, short + ".cycles_hist",
+                      **labels).observe(dur)
+        tel.spans.append(SpanRecord(
+            name=self.name, labels=labels, start_cycle=self.start_cycle,
+            dur_cycles=dur, self_cycles=self_cycles,
+            start_wall_ns=self._start_wall, dur_wall_ns=dur_wall,
+            depth=self._depth, error=exc_type is not None))
+        return False
+
+
+class Telemetry:
+    """The observability hub for one simulated machine."""
+
+    def __init__(self, cycles, *, ring_capacity: int = 4096,
+                 span_capacity: int = 65536) -> None:
+        self.cycles = cycles
+        self.registry = MetricsRegistry()
+        self.ring = TraceBuffer(ring_capacity)
+        self.ring.attach(cycles)
+        self.enabled = False
+        self.spans: deque[SpanRecord] = deque(maxlen=span_capacity)
+        self._stack: list[Span] = []
+        self._collectors: dict[str, Callable[[], dict]] = {}
+        self._paging: dict[str, object] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self) -> None:
+        """Turn on spans, metrics, and the event ring."""
+        self.enabled = True
+        self.ring.enable()
+
+    def disable(self) -> None:
+        self.enabled = False
+        self.ring.disable()
+
+    def reset(self) -> None:
+        """Drop all recorded data (metrics, spans, ring events)."""
+        self.registry.clear()
+        self.spans.clear()
+        self._stack.clear()
+        self.ring.clear()
+
+    # -- the hot-path API ----------------------------------------------------
+
+    def span(self, name: str, **labels):
+        """A cycle-accurate span; a shared no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, labels)
+
+    def event(self, kind: str, detail="") -> None:
+        """Record a raw event into the ring.
+
+        ``detail`` may be a callable, evaluated only when the ring is
+        enabled — call-sites never pay for f-string construction on the
+        disabled path.
+        """
+        if not self.ring.enabled:
+            return
+        self.ring.record(kind, detail() if callable(detail) else detail)
+
+    def count(self, subsystem: str, name: str, amount: int | float = 1,
+              **labels) -> None:
+        """Bump a counter iff telemetry is enabled (single branch off)."""
+        if self.enabled:
+            self.registry.counter(subsystem, name, **labels).inc(amount)
+
+    # -- hardware collectors -------------------------------------------------
+
+    def add_collector(self, name: str, fn: Callable[[], dict]) -> None:
+        """Register a pull-based stats source sampled at snapshot time."""
+        self._collectors[name] = fn
+
+    def paging_stats(self, domain: str):
+        """The shared paging-stat sink for one page-table domain."""
+        from repro.hw.paging import PagingStats
+        stats = self._paging.get(domain)
+        if stats is None:
+            stats = PagingStats()
+            self._paging[domain] = stats
+        return stats
+
+    def hardware_stats(self) -> dict[str, dict]:
+        """Sample every registered collector (plus paging domains)."""
+        out = {name: dict(fn()) for name, fn in self._collectors.items()}
+        if self._paging:
+            out["paging"] = {domain: stats.as_dict()
+                             for domain, stats in self._paging.items()}
+        return out

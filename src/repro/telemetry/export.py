@@ -1,0 +1,145 @@
+"""Telemetry exporters: JSON snapshot, Chrome trace_event, top-N text.
+
+The JSON snapshot is the machine-readable "where did the cycles go"
+breakdown every benchmark can emit (``--telemetry-out``); its shape is
+validated by :mod:`repro.telemetry.schema`.  The Chrome trace file loads
+directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
+spans become complete ("X") events on the simulated-cycle timebase, one
+process per machine, with 1 simulated cycle rendered as 1 microsecond.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.telemetry.core import Telemetry, cycles_by_subsystem
+
+SNAPSHOT_VERSION = 1
+SNAPSHOT_KIND = "hyperenclave-telemetry"
+
+
+# -- JSON snapshot -----------------------------------------------------------
+
+def machine_snapshot(telemetry: Telemetry, label: str = "machine") -> dict:
+    """One machine's telemetry as a JSON-ready dict."""
+    breakdown = telemetry.cycles.breakdown()
+    return {
+        "label": label,
+        "cycles": {
+            "total": telemetry.cycles.total,
+            "by_category": breakdown,
+            "by_subsystem": cycles_by_subsystem(breakdown),
+        },
+        "metrics": telemetry.registry.snapshot(),
+        "hardware": telemetry.hardware_stats(),
+        "spans": {"recorded": len(telemetry.spans)},
+    }
+
+
+def snapshot_document(items: list[tuple[str, Telemetry]]) -> dict:
+    """The full snapshot: per-machine sections plus combined totals.
+
+    ``combined.by_subsystem`` sums exactly to ``combined.total_cycles``
+    because the category -> subsystem mapping is total.
+    """
+    machines = [machine_snapshot(tel, label) for label, tel in items]
+    total = 0
+    by_subsystem: dict[str, int | float] = {}
+    for snap in machines:
+        total += snap["cycles"]["total"]
+        for sub, cycles in snap["cycles"]["by_subsystem"].items():
+            by_subsystem[sub] = by_subsystem.get(sub, 0) + cycles
+    return {
+        "version": SNAPSHOT_VERSION,
+        "kind": SNAPSHOT_KIND,
+        "machines": machines,
+        "combined": {"total_cycles": total, "by_subsystem": by_subsystem},
+    }
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+def chrome_trace_events(telemetry: Telemetry, *, pid: int = 1,
+                        label: str = "machine") -> list[dict]:
+    """One machine's spans as Chrome trace_event dicts."""
+    events: list[dict] = [{
+        "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+        "args": {"name": f"{label} (1 cycle = 1 us)"},
+    }]
+    for record in telemetry.spans:
+        tid = record.labels.get("cpu", 0)
+        args = {k: v for k, v in record.labels.items()}
+        args["self_cycles"] = record.self_cycles
+        args["wall_ns"] = record.dur_wall_ns
+        if record.error:
+            args["error"] = True
+        events.append({
+            "name": record.name,
+            "cat": record.name.partition(".")[0],
+            "ph": "X",
+            "ts": record.start_cycle,
+            "dur": record.dur_cycles,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    return events
+
+
+def chrome_trace_document(items: list[tuple[str, Telemetry]]) -> dict:
+    """A loadable ``{"traceEvents": [...]}`` document, one pid/machine."""
+    events: list[dict] = []
+    for pid, (label, tel) in enumerate(items, start=1):
+        events.extend(chrome_trace_events(tel, pid=pid, label=label))
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"timebase": "simulated cycles (1 cycle = 1 us)"}}
+
+
+# -- plain-text top-N report -------------------------------------------------
+
+def top_report(document: dict, n: int = 10) -> str:
+    """A human-readable top-N digest of a snapshot document."""
+    out = ["Telemetry: where the cycles went", "=" * 40]
+    combined = document["combined"]
+    total = combined["total_cycles"] or 1
+    out.append(f"total simulated cycles: {combined['total_cycles']:,.0f} "
+               f"across {len(document['machines'])} machine(s)")
+    out.append("")
+    out.append(f"top subsystems (of {len(combined['by_subsystem'])}):")
+    ranked = sorted(combined["by_subsystem"].items(),
+                    key=lambda kv: -kv[1])[:n]
+    for sub, cycles in ranked:
+        out.append(f"  {sub:<12} {cycles:>16,.0f}  ({100 * cycles / total:5.1f}%)")
+    merged: dict[str, int | float] = {}
+    for snap in document["machines"]:
+        for category, cycles in snap["cycles"]["by_category"].items():
+            merged[category] = merged.get(category, 0) + cycles
+    out.append("")
+    out.append(f"top categories (of {len(merged)}):")
+    for category, cycles in sorted(merged.items(), key=lambda kv: -kv[1])[:n]:
+        out.append(f"  {category:<16} {cycles:>16,.0f}  "
+                   f"({100 * cycles / total:5.1f}%)")
+    return "\n".join(out)
+
+
+# -- file writer -------------------------------------------------------------
+
+def trace_path_for(snapshot_path: str | pathlib.Path) -> pathlib.Path:
+    """The Chrome-trace sibling of a snapshot path (x.json -> x.trace.json)."""
+    path = pathlib.Path(snapshot_path)
+    return path.with_name(path.stem + ".trace.json")
+
+
+def write_telemetry(snapshot_path: str | pathlib.Path,
+                    items: list[tuple[str, Telemetry]]
+                    ) -> tuple[pathlib.Path, pathlib.Path]:
+    """Write the JSON snapshot and its Chrome trace; returns both paths."""
+    snapshot_path = pathlib.Path(snapshot_path)
+    document = snapshot_document(items)
+    from repro.telemetry.schema import validate_snapshot
+    validate_snapshot(document)
+    snapshot_path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    trace_path = trace_path_for(snapshot_path)
+    trace_path.write_text(json.dumps(chrome_trace_document(items)))
+    return snapshot_path, trace_path

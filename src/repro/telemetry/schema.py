@@ -1,0 +1,140 @@
+"""Schema validation for telemetry snapshot documents.
+
+The container has no ``jsonschema`` package, so this is a small
+hand-rolled structural validator for the format
+:func:`repro.telemetry.export.snapshot_document` emits.  CI's smoke job
+runs a benchmark with ``--telemetry-out`` and validates the result here::
+
+    python -m repro.telemetry.schema out.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+_METRIC_TYPES = {"counter", "gauge", "histogram"}
+
+
+class SchemaError(ValueError):
+    """A snapshot document does not match the expected shape."""
+
+
+def _require(condition: bool, where: str, message: str) -> None:
+    if not condition:
+        raise SchemaError(f"{where}: {message}")
+
+
+def _check_number(value, where: str) -> None:
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             where, f"expected a number, got {value!r}")
+
+
+def _check_cycle_map(obj, where: str) -> None:
+    _require(isinstance(obj, dict), where, "expected an object")
+    for key, value in obj.items():
+        _require(isinstance(key, str), where, f"non-string key {key!r}")
+        _check_number(value, f"{where}.{key}")
+
+
+def _check_metric(entry, where: str) -> None:
+    _require(isinstance(entry, dict), where, "expected an object")
+    for field in ("subsystem", "name", "type"):
+        _require(isinstance(entry.get(field), str), where,
+                 f"missing string field {field!r}")
+    _require(entry["type"] in _METRIC_TYPES, where,
+             f"unknown metric type {entry['type']!r}")
+    _require(isinstance(entry.get("labels"), dict), where,
+             "missing labels object")
+    if entry["type"] in ("counter", "gauge"):
+        _check_number(entry.get("value"), f"{where}.value")
+    else:
+        _check_number(entry.get("count"), f"{where}.count")
+        _check_number(entry.get("sum"), f"{where}.sum")
+        _require(isinstance(entry.get("buckets"), list), where,
+                 "histogram needs a buckets list")
+        for i, bucket in enumerate(entry["buckets"]):
+            _require(isinstance(bucket, list) and len(bucket) == 3,
+                     f"{where}.buckets[{i}]", "expected [lo, hi, count]")
+
+
+def _check_machine(snap, where: str) -> None:
+    _require(isinstance(snap, dict), where, "expected an object")
+    _require(isinstance(snap.get("label"), str), where, "missing label")
+    cycles = snap.get("cycles")
+    _require(isinstance(cycles, dict), where, "missing cycles object")
+    _check_number(cycles.get("total"), f"{where}.cycles.total")
+    _check_cycle_map(cycles.get("by_category"), f"{where}.cycles.by_category")
+    _check_cycle_map(cycles.get("by_subsystem"),
+                     f"{where}.cycles.by_subsystem")
+    total = cycles["total"]
+    for which in ("by_category", "by_subsystem"):
+        subtotal = sum(cycles[which].values())
+        _require(abs(subtotal - total) <= max(0.01 * total, 1e-6),
+                 f"{where}.cycles.{which}",
+                 f"sums to {subtotal}, more than 1% off total {total}")
+    _require(isinstance(snap.get("metrics"), list), where,
+             "missing metrics list")
+    for i, entry in enumerate(snap["metrics"]):
+        _check_metric(entry, f"{where}.metrics[{i}]")
+    _require(isinstance(snap.get("hardware"), dict), where,
+             "missing hardware object")
+    spans = snap.get("spans")
+    _require(isinstance(spans, dict), where, "missing spans object")
+    _check_number(spans.get("recorded"), f"{where}.spans.recorded")
+
+
+def validate_snapshot(document) -> None:
+    """Raise :class:`SchemaError` unless ``document`` is a valid snapshot."""
+    _require(isinstance(document, dict), "$", "expected an object")
+    _require(document.get("version") == 1, "$.version",
+             f"unsupported version {document.get('version')!r}")
+    _require(document.get("kind") == "hyperenclave-telemetry", "$.kind",
+             f"unexpected kind {document.get('kind')!r}")
+    machines = document.get("machines")
+    _require(isinstance(machines, list) and machines, "$.machines",
+             "expected a non-empty list")
+    for i, snap in enumerate(machines):
+        _check_machine(snap, f"$.machines[{i}]")
+    combined = document.get("combined")
+    _require(isinstance(combined, dict), "$.combined", "expected an object")
+    _check_number(combined.get("total_cycles"), "$.combined.total_cycles")
+    _check_cycle_map(combined.get("by_subsystem"), "$.combined.by_subsystem")
+    total = combined["total_cycles"]
+    machine_total = sum(s["cycles"]["total"] for s in machines)
+    _require(abs(machine_total - total) <= max(0.01 * total, 1e-6),
+             "$.combined.total_cycles",
+             f"machines sum to {machine_total}, not {total}")
+    subtotal = sum(combined["by_subsystem"].values())
+    _require(abs(subtotal - total) <= max(0.01 * total, 1e-6),
+             "$.combined.by_subsystem",
+             f"sums to {subtotal}, more than 1% off total {total}")
+
+
+def validate_file(path: str | pathlib.Path) -> dict:
+    """Load and validate a snapshot file; returns the parsed document."""
+    document = json.loads(pathlib.Path(path).read_text())
+    validate_snapshot(document)
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: validate one snapshot file, exit non-zero on error."""
+    args = argv if argv is not None else sys.argv[1:]
+    if not args:
+        print("usage: python -m repro.telemetry.schema SNAPSHOT.json",
+              file=sys.stderr)
+        return 2
+    try:
+        document = validate_file(args[0])
+    except (OSError, json.JSONDecodeError, SchemaError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {args[0]} ({len(document['machines'])} machine(s), "
+          f"{document['combined']['total_cycles']:,.0f} cycles)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,142 @@
+"""Tests for the telemetry hub: spans, events, attribution, collectors."""
+
+import pytest
+
+from repro.errors import EnclaveError
+from repro.hw.cycles import CycleCounter
+from repro.telemetry import (NULL_SPAN, Telemetry, cycles_by_subsystem,
+                             subsystem_for_category)
+
+
+@pytest.fixture
+def tel():
+    cycles = CycleCounter()
+    t = Telemetry(cycles)
+    t.enable()
+    return t
+
+
+class TestAttribution:
+    def test_exact_and_prefix_mapping(self):
+        assert subsystem_for_category("hypercall") == "monitor"
+        assert subsystem_for_category("sdk-ecall") == "sdk"
+        assert subsystem_for_category("eenter:hu") == "world"
+        assert subsystem_for_category("pf:gu") == "world"
+        assert subsystem_for_category("syscall") == "os"
+
+    def test_mapping_is_total(self):
+        assert subsystem_for_category("brand-new-category") == "other"
+
+    def test_by_subsystem_sums_to_total(self):
+        breakdown = {"hypercall": 100, "eenter:p": 50, "mystery": 7}
+        agg = cycles_by_subsystem(breakdown)
+        assert sum(agg.values()) == sum(breakdown.values())
+        assert agg == {"monitor": 100, "world": 50, "other": 7}
+
+
+class TestSpans:
+    def test_disabled_returns_shared_null_span(self):
+        t = Telemetry(CycleCounter())
+        assert t.span("world.eenter") is NULL_SPAN
+        assert t.span("sdk.ecall", enclave=1) is NULL_SPAN
+        with t.span("anything"):
+            pass
+        assert len(t.spans) == 0
+
+    def test_span_measures_cycles(self, tel):
+        with tel.span("world.eenter", enclave=1):
+            tel.cycles.charge(500, "eenter:hu")
+        (rec,) = tel.spans
+        assert rec.name == "world.eenter"
+        assert rec.dur_cycles == 500
+        assert rec.self_cycles == 500
+        assert rec.labels == {"enclave": 1}
+        assert rec.dur_wall_ns >= 0
+        assert not rec.error
+
+    def test_nesting_attributes_self_cycles(self, tel):
+        with tel.span("sdk.ecall"):
+            tel.cycles.charge(100, "sdk-ecall")
+            with tel.span("world.eenter"):
+                tel.cycles.charge(40, "eenter:hu")
+            tel.cycles.charge(10, "sdk-ecall")
+        inner, outer = tel.spans
+        assert inner.depth == 1 and outer.depth == 0
+        assert outer.dur_cycles == 150
+        assert inner.dur_cycles == 40
+        assert outer.self_cycles == 110
+
+    def test_exception_unwinds_and_flags_error(self, tel):
+        with pytest.raises(EnclaveError):
+            with tel.span("sdk.ecall"):
+                with tel.span("world.eenter"):
+                    raise EnclaveError("boom")
+        inner, outer = tel.spans
+        assert inner.error and outer.error
+        assert tel._stack == []
+
+    def test_exception_skipping_child_exit_still_unwinds(self, tel):
+        # Simulate a child span whose __exit__ never ran: the parent's
+        # exit must still pop it off the stack.
+        child = tel.span("world.eenter")
+        parent = tel.span("sdk.ecall")
+        parent.__enter__()
+        child.__enter__()
+        parent.__exit__(None, None, None)
+        assert tel._stack == []
+
+    def test_span_metrics_aggregate(self, tel):
+        for _ in range(3):
+            with tel.span("world.eenter", mode="hu"):
+                tel.cycles.charge(1000, "eenter:hu")
+        snap = {e["name"]: e for e in tel.registry.snapshot()}
+        assert snap["eenter.calls"]["value"] == 3
+        assert snap["eenter.cycles"]["value"] == 3000
+        assert snap["eenter.cycles_hist"]["count"] == 3
+        assert snap["eenter.calls"]["subsystem"] == "world"
+        assert snap["eenter.calls"]["labels"] == {"mode": "hu"}
+
+
+class TestEventsAndCounts:
+    def test_event_detail_lazy(self, tel):
+        calls = []
+
+        def detail():
+            calls.append(1)
+            return "built"
+
+        tel.disable()
+        tel.event("kind", detail)
+        assert not calls
+        tel.enable()
+        tel.event("kind", detail)
+        assert calls == [1]
+        (ev,) = tel.ring.events("kind")
+        assert ev.detail == "built"
+
+    def test_count_noop_when_disabled(self):
+        t = Telemetry(CycleCounter())
+        t.count("sdk", "calls")
+        assert len(t.registry) == 0
+
+    def test_reset_drops_everything(self, tel):
+        with tel.span("sdk.ecall"):
+            pass
+        tel.event("e", "d")
+        tel.reset()
+        assert len(tel.spans) == 0
+        assert len(tel.registry) == 0
+        assert len(tel.ring) == 0
+
+
+class TestCollectors:
+    def test_hardware_stats_samples_collectors(self, tel):
+        tel.add_collector("fake", lambda: {"hits": 7})
+        tel.paging_stats("os").walks = 3
+        hw = tel.hardware_stats()
+        assert hw["fake"] == {"hits": 7}
+        assert hw["paging"]["os"]["walks"] == 3
+
+    def test_paging_stats_interned_per_domain(self, tel):
+        assert tel.paging_stats("os") is tel.paging_stats("os")
+        assert tel.paging_stats("os") is not tel.paging_stats("enclave")

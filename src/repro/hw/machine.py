@@ -46,6 +46,9 @@ class MachineConfig:
     encryption: str = "amd-sme"                  # none | amd-sme | intel-mee
     tpm_seed: bytes = b"hyperenclave-reproduction"
     interrupt_interval_cycles: float = 400_000.0
+    # Monitor-invariant sanitizer (repro.sanitizer): True/False forces it
+    # on/off; None defers to the REPRO_SANITIZE environment variable.
+    sanitize: bool | None = None
 
     def __post_init__(self) -> None:
         if self.encryption not in _ENGINES:
@@ -83,6 +86,14 @@ class Machine:
             "encryption",
             lambda: {"engine": self.encryption.name,
                      **self.encryption.stats()})
+        # Attach the monitor-invariant sanitizer last, so its hooks see a
+        # fully assembled machine.  Imported here: repro.sanitizer sits
+        # above the hardware layer.
+        from repro.sanitizer.runtime import Sanitizer, sanitize_enabled
+        want = self.config.sanitize
+        if want is None:
+            want = sanitize_enabled()
+        self.sanitizer = Sanitizer(self) if want else None
 
     def reboot(self) -> None:
         """Power cycle: PCRs reset, caches/TLB cold, cycle counter keeps going."""

@@ -92,11 +92,19 @@ class PageTable:
 
     def __init__(self, phys: PhysicalMemory, frame_alloc: Callable[[], int],
                  frame_free: Callable[[int], None] | None = None,
-                 stats: PagingStats | None = None) -> None:
+                 stats: PagingStats | None = None,
+                 asid: int | None = None) -> None:
         self.phys = phys
         self._alloc = frame_alloc
         self._free = frame_free
         self.stats = stats
+        # Sanitizer metadata: ``asid`` ties this table to the TLB tag its
+        # translations are cached under (enclave page tables use the
+        # enclave id), so unmap/protect can be checked against shootdowns.
+        # ``untrusted`` marks OS/process tables the sanitizer polices for
+        # monitor/enclave-frame reachability.
+        self.asid = asid
+        self.untrusted = False
         self.root_pa = frame_alloc()
         self._table_frames: set[int] = {self.root_pa}
 
@@ -107,6 +115,9 @@ class PageTable:
         self._check_canonical(va)
         if va % PAGE_SIZE or pa % PAGE_SIZE:
             raise ValueError("map() requires page-aligned va and pa")
+        sanitizer = self.phys.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_pt_map(self, va, pa)
         entry_pa = self._ensure_entry(va)
         self.phys.write_u64(entry_pa,
                             pa | int(flags | PageTableFlags.PRESENT))
@@ -120,7 +131,11 @@ class PageTable:
         if not entry & PageTableFlags.PRESENT:
             raise PageFault(va, present=False)
         self.phys.write_u64(entry_pa, 0)
-        return entry & _ADDR_MASK
+        old_pa = entry & _ADDR_MASK
+        sanitizer = self.phys.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_pt_unmap(self, va, old_pa)
+        return old_pa
 
     def protect(self, va: int, flags: PageTableFlags) -> None:
         """Replace the permission flags of an existing mapping."""
@@ -132,6 +147,9 @@ class PageTable:
             raise PageFault(va, present=False)
         pa = entry & _ADDR_MASK
         self.phys.write_u64(entry_pa, pa | int(flags | PageTableFlags.PRESENT))
+        sanitizer = self.phys.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_pt_protect(self, va)
 
     def is_mapped(self, va: int) -> bool:
         try:

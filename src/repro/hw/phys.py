@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from types import MappingProxyType
 
 from repro.errors import PhysicalMemoryError
 
@@ -61,12 +62,19 @@ class PhysicalMemory:
         self.num_frames = size // PAGE_SIZE
         self._frames: dict[int, bytearray] = {}
         self._owners: dict[int, Owner] = {}
+        # Set by repro.sanitizer when REPRO_SANITIZE=1; every ownership
+        # transition is mirrored into its shadow model.
+        self.sanitizer = None
 
     # -- ownership ---------------------------------------------------------
 
     def owner_of(self, pa: int) -> Owner:
         """Owner tag of the frame containing physical address ``pa``."""
         return self._owners.get(self._frame_no(pa), FREE)
+
+    def owned_frames(self) -> MappingProxyType:
+        """Read-only frame-number -> Owner view (FREE frames absent)."""
+        return MappingProxyType(self._owners)
 
     def set_owner(self, pa: int, owner: Owner, npages: int = 1) -> None:
         """Tag ``npages`` frames starting at ``pa`` with ``owner``."""
@@ -80,6 +88,8 @@ class PhysicalMemory:
                 self._owners.pop(frame + i, None)
             else:
                 self._owners[frame + i] = owner
+        if self.sanitizer is not None:
+            self.sanitizer.on_set_owner(frame, owner, npages)
 
     # -- data --------------------------------------------------------------
 

@@ -27,6 +27,10 @@ class Tlb:
         self.hits = 0
         self.misses = 0
         self.flushes = 0
+        # Set by repro.sanitizer when REPRO_SANITIZE=1: invalidations are
+        # reported so the shadow TLB-coherence protocol can retire
+        # pending-shootdown entries.
+        self.sanitizer = None
 
     @staticmethod
     def _vpn(va: int) -> int:
@@ -54,11 +58,15 @@ class Tlb:
     def invlpg(self, asid: int, va: int) -> None:
         """Invalidate one page's entry (the INVLPG instruction)."""
         self._entries.pop((asid, self._vpn(va)), None)
+        if self.sanitizer is not None:
+            self.sanitizer.on_tlb_invlpg(asid, self._vpn(va))
 
     def flush(self) -> None:
         """Drop every entry (full flush, e.g. MOV CR3 without PCID)."""
         self._entries.clear()
         self.flushes += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_tlb_flush()
 
     def flush_asid(self, asid: int) -> None:
         """Drop all entries for one ASID."""
@@ -66,6 +74,8 @@ class Tlb:
         for key in stale:
             del self._entries[key]
         self.flushes += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_tlb_flush_asid(asid)
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/flush counters for the telemetry collectors."""

@@ -30,6 +30,8 @@ from repro.monitor.swap import (EnclaveSwapState, UntrustedSwapStore,
                                 derive_swap_key, swap_in_page,
                                 swap_out_page)
 from repro.monitor.world import WorldSwitchEngine
+from repro.sanitizer import invariants
+from repro.sanitizer.violation import SAN_OWNER
 
 FLOOD_DIGEST = sha256(b"HYPERENCLAVE-PCR-FLOOD")
 
@@ -65,6 +67,11 @@ class RustMonitor:
         if monitor_private_size >= cfg.reserved_size:
             raise MonitorError("monitor private region exceeds reservation")
 
+        # The invariant sanitizer, when REPRO_SANITIZE=1 (None otherwise).
+        self._sanitizer = machine.sanitizer
+        if self._sanitizer is not None:
+            self._sanitizer.on_monitor_boot()
+
         # Claim the grub-reserved physical region (Sec 5.1).
         machine.phys.set_owner(cfg.reserved_base, MONITOR,
                                npages=cfg.reserved_size // PAGE_SIZE)
@@ -99,6 +106,7 @@ class RustMonitor:
 
     # ------------------------------------------------------------------ boot --
 
+    # repro-lint: disable=R003 -- boot-time setup in monitor context, no guest
     def initialize_keys(self, sealed_root_key: bytes | None = None) -> bytes:
         """Create or unseal K_root, derive the attestation key, extend the
         hapk into the TPM, and flood the boot PCRs (Sec 3.3).
@@ -120,6 +128,7 @@ class RustMonitor:
             tpm.extend(idx, FLOOD_DIGEST)
         return sealed
 
+    # repro-lint: disable=R003 -- one-shot boot transition, no guest to charge
     def demote_primary_os(self) -> None:
         """Drop the primary OS into the normal VM and arm DMA protection."""
         self.machine.iommu.enable()
@@ -154,6 +163,17 @@ class RustMonitor:
             raise EnclaveError(f"no such enclave {enclave_id}")
         return enclave
 
+    def _sanitize_op(self, op: str) -> None:
+        """Attribute subsequent frame transitions to ``op``."""
+        if self._sanitizer is not None:
+            self._sanitizer.set_op(op)
+
+    def _sanitize_check(self, op: str, enclave_id: int | None = None,
+                        page_va: int | None = None) -> None:
+        """Run the after-op invariant checks (no-op when not sanitizing)."""
+        if self._sanitizer is not None:
+            self._sanitizer.after_monitor_op(self, op, enclave_id, page_va)
+
     def _tlb_shootdown(self, enclave_id: int, page_va: int) -> None:
         """Invalidate one page everywhere it may be cached.
 
@@ -172,11 +192,13 @@ class RustMonitor:
 
     def allow_dma_device(self, device: str) -> None:
         """Grant a device DMA windows over normal memory only (R-3)."""
+        self._charge_hypercall("allow_dma_device")
         for start, end in self.normal_npt.ranges():
             self.machine.iommu.allow(device, start, end - start)
 
     # ----------------------------------------------------- normal VM policing --
 
+    # repro-lint: disable=R003 -- models the hardware NPT check; per-access hot path
     def check_normal_access(self, pa: int, length: int = 1) -> None:
         """R-1: normal-mode software may not touch reserved/enclave frames.
 
@@ -198,16 +220,19 @@ class RustMonitor:
                 base: int = ENCLAVE_BASE_VA) -> int:
         """Emulated ECREATE: allocate the enclave and its page table."""
         self._charge_hypercall("ecreate")
+        self._sanitize_op("ecreate")
         if size <= 0 or size % PAGE_SIZE:
             raise EnclaveError("ELRANGE size must be page aligned")
         enclave_id = self._next_enclave_id
         self._next_enclave_id += 1
         pt = PageTable(self.machine.phys, self.monitor_pool.alloc,
                        self.monitor_pool.free,
-                       stats=self.machine.telemetry.paging_stats("enclave"))
+                       stats=self.machine.telemetry.paging_stats("enclave"),
+                       asid=enclave_id)
         enclave = Enclave(enclave_id, config, base=base, size=size,
                           page_table=pt)
         self.enclaves[enclave_id] = enclave
+        self._sanitize_check("ecreate", enclave_id)
         return enclave_id
 
     def eadd(self, enclave_id: int, offset: int, content: bytes = b"", *,
@@ -215,6 +240,7 @@ class RustMonitor:
              perms: PagePerm = PagePerm.RW, measure: bool = True) -> None:
         """Emulated EADD: commit one measured page from the EPC pool."""
         self._charge_hypercall("eadd")
+        self._sanitize_op("eadd")
         enclave = self._enclave(enclave_id)
         enclave.require_state(EnclaveState.CREATED)
         if len(content) > PAGE_SIZE:
@@ -224,7 +250,9 @@ class RustMonitor:
             self.machine.phys.write(pa, content)
         enclave.add_page(offset, pa, page_type, perms, measure=measure,
                          content=content)
+        self._sanitize_check("eadd", enclave_id)
 
+    # repro-lint: disable=R003 -- composite op; charges through the eadd it wraps
     def add_tcs(self, enclave_id: int, offset: int, entry_va: int) -> int:
         """Add a TCS page plus its SSA frames; returns the TCS index."""
         enclave = self._enclave(enclave_id)
@@ -268,14 +296,19 @@ class RustMonitor:
             enclave.register_marshalling_buffer(base_va, size, frames)
 
         enclave.state = EnclaveState.INITIALIZED
+        if self._sanitizer is not None:
+            self._sanitizer.on_einit(enclave)
+        self._sanitize_check("einit", enclave_id)
         return mrenclave
 
     def eremove(self, enclave_id: int) -> None:
         """Tear the enclave down; scrub and free every page."""
         self._charge_hypercall("eremove")
+        self._sanitize_op("eremove")
         enclave = self._enclave(enclave_id)
         for page in enclave.pages.values():
             self.epc_pool.free(page.pa)
+            self._assert_frame_freed(page.pa, "eremove")
         enclave.pages.clear()
         enclave.pt.destroy()
         enclave.state = EnclaveState.DESTROYED
@@ -286,9 +319,23 @@ class RustMonitor:
                 self.swap_store.drop(record.token)
         self.machine.tlb.flush()
         del self.enclaves[enclave_id]
+        if self._sanitizer is not None:
+            self._sanitizer.on_enclave_removed(enclave_id)
+        self._sanitize_check("eremove")
+
+    def _assert_frame_freed(self, pa: int, op: str) -> None:
+        """A just-released frame must be back in the free pool."""
+        if self.machine.phys.owner_of(pa).kind is not OwnerKind.FREE:
+            invariants.fail(
+                self.machine, self._sanitizer, SAN_OWNER,
+                f"{op}: frame {pa:#x} was released but is still owned by "
+                f"{self.machine.phys.owner_of(pa).kind.value}",
+                frame=pa // PAGE_SIZE)
 
     # ----------------------------------------------------------- runtime ------
 
+    # repro-lint: disable=R003 -- #PF VM-exit, not a hypercall; cycles charged
+    # by the fault-path step lists (double-charging would break Table 2)
     def handle_enclave_page_fault(self, enclave_id: int, va: int, *,
                                   write: bool = False) -> None:
         """The monitor-owned page-fault path (Sec 3.2).
@@ -298,12 +345,14 @@ class RustMonitor:
         """
         enclave = self._enclave(enclave_id)
         enclave.require_state(EnclaveState.INITIALIZED)
+        self._sanitize_op("page_fault")
         tel = self.machine.telemetry
         tel.event("pagefault", lambda: f"enclave={enclave_id} va={va:#x}")
         with tel.span("monitor.pagefault", enclave=enclave_id):
             state = self._swap_states.get(enclave_id)
             if state is not None and (va & ~(PAGE_SIZE - 1)) in state.records:
                 swap_in_page(self, enclave, state, self.swap_store, va)
+                self._sanitize_check("page_fault", enclave_id, va)
                 return
             region = enclave.reserved_region_for(va)
             if region is not None and enclave.page_at(va) is None:
@@ -324,6 +373,7 @@ class RustMonitor:
                         costs.DEMAND_PAGING_PF_STEPS, "demand-paging")
                 pa = self._alloc_epc_frame(enclave_id)
                 enclave.commit_page(va & ~(PAGE_SIZE - 1), pa, region.perms)
+                self._sanitize_check("page_fault", enclave_id, va)
                 return
             raise PageFault(va, write=write, present=enclave.page_at(va)
                             is not None)
@@ -345,11 +395,13 @@ class RustMonitor:
                                        "edmm-sgx2")
         else:
             self._charge_hypercall("enclave_mprotect")
+        self._sanitize_op("enclave_mprotect")
         for i in range(npages):
             page_va = va + i * PAGE_SIZE
             enclave.protect_page(page_va, perms)
             self.machine.cycles.charge(300, "pte-update")
             self._tlb_shootdown(enclave_id, page_va)
+        self._sanitize_check("enclave_mprotect", enclave_id)
 
     def enclave_trim(self, enclave_id: int, va: int, npages: int) -> int:
         """EDMM page removal: scrub and return pages to the EPC pool.
@@ -366,6 +418,7 @@ class RustMonitor:
                                        "edmm-sgx2")
         else:
             self._charge_hypercall("enclave_trim")
+        self._sanitize_op("enclave_trim")
         trimmed = 0
         for i in range(npages):
             page_va = (va + i * PAGE_SIZE) & ~(PAGE_SIZE - 1)
@@ -374,6 +427,7 @@ class RustMonitor:
                 continue
             enclave.pt.unmap(page_va)
             self.epc_pool.free(page.pa)
+            self._assert_frame_freed(page.pa, "enclave_trim")
             del enclave.pages[page.offset]
             self._tlb_shootdown(enclave_id, page_va)
             self.machine.cycles.charge(300, "pte-update")
@@ -381,10 +435,12 @@ class RustMonitor:
                 self.machine.cycles.charge(costs.SGX2_EACCEPT_CYCLES,
                                            "edmm-sgx2")
             trimmed += 1
+        self._sanitize_check("enclave_trim", enclave_id)
         return trimmed
 
     # ------------------------------------------------------- verification ------
 
+    # repro-lint: disable=R003 -- verification harness, not a guest hypercall
     def audit_invariants(self) -> None:
         """Check the monitor's global security invariants.
 
@@ -399,41 +455,14 @@ class RustMonitor:
         I-3  the normal VM's NPT never covers monitor/enclave frames;
         I-4  every committed enclave page is inside its ELRANGE and
              owned by the right enclave.
+
+        The actual checkers live in :mod:`repro.sanitizer.invariants` so
+        the auditor and the REPRO_SANITIZE=1 runtime sanitizer are one
+        source of truth.  With the sanitizer attached, this additionally
+        audits the shadow ownership model, the pending-TLB-shootdown set,
+        swap version records, and frozen measurements.
         """
-        phys = self.machine.phys
-        seen_frames: dict[int, int] = {}
-        for eid, enclave in self.enclaves.items():
-            ms_frames = set(enclave.marshalling.frames) \
-                if enclave.marshalling else set()
-            for va, pa, _flags in enclave.pt.mappings():
-                owner = phys.owner_of(pa)
-                if pa in ms_frames:
-                    if owner.kind is not OwnerKind.NORMAL:
-                        raise SecurityViolation(
-                            f"I-1: enclave {eid} msbuf frame {pa:#x} is "
-                            f"{owner.kind.value}")
-                    continue
-                if owner.kind is not OwnerKind.ENCLAVE or \
-                        owner.enclave_id != eid:
-                    raise SecurityViolation(
-                        f"I-1: enclave {eid} maps foreign frame {pa:#x} "
-                        f"({owner.kind.value})")
-                if pa in seen_frames and seen_frames[pa] != eid:
-                    raise SecurityViolation(
-                        f"I-2: frame {pa:#x} mapped by enclaves "
-                        f"{seen_frames[pa]} and {eid}")
-                seen_frames[pa] = eid
-            for page in enclave.pages.values():
-                if not 0 <= page.offset < enclave.secs.size:
-                    raise SecurityViolation(
-                        f"I-4: enclave {eid} page offset {page.offset:#x} "
-                        f"outside ELRANGE")
-        cfg = self.machine.config
-        for probe in (cfg.reserved_base,
-                      cfg.reserved_base + cfg.reserved_size - PAGE_SIZE):
-            if self.normal_npt.contains(probe):
-                raise SecurityViolation(
-                    f"I-3: normal VM NPT covers reserved frame {probe:#x}")
+        invariants.audit_monitor(self)
 
     # ------------------------------------------------------- attestation -------
 
@@ -441,6 +470,7 @@ class RustMonitor:
                 target_mrenclave: bytes) -> LocalReport:
         """Emulated EREPORT: a local report MACed with the *target*'s
         report key, so only the target enclave can verify it."""
+        self._charge_hypercall("ereport")
         enclave = self._enclave(enclave_id)
         enclave.require_state(EnclaveState.INITIALIZED)
         report = LocalReport(
@@ -457,6 +487,7 @@ class RustMonitor:
     def verify_local_report(self, verifier_enclave_id: int,
                             report: LocalReport) -> bool:
         """The target side of local attestation (EGETKEY(REPORT) + CMAC)."""
+        self._charge_hypercall("verify_local_report")
         verifier = self._enclave(verifier_enclave_id)
         if report.target_mrenclave != verifier.secs.mrenclave:
             return False
@@ -466,6 +497,7 @@ class RustMonitor:
     def egetkey(self, enclave_id: int, *,
                 policy: SealPolicy = SealPolicy.MRENCLAVE) -> bytes:
         """Emulated EGETKEY: the enclave's sealing key."""
+        self._charge_hypercall("egetkey")
         enclave = self._enclave(enclave_id)
         enclave.require_state(EnclaveState.INITIALIZED)
         return self.keys.seal_key(mrenclave=enclave.secs.mrenclave,
@@ -491,6 +523,8 @@ class RustMonitor:
         Returns the number of pages evicted.  The enclave's next touch of
         an evicted page faults and transparently swaps it back in.
         """
+        self._charge_hypercall("swap_out")
+        self._sanitize_op("swap_out")
         enclave = self._enclave(enclave_id)
         enclave.require_state(EnclaveState.INITIALIZED)
         state = self._swap_state(enclave)
@@ -500,6 +534,7 @@ class RustMonitor:
             if enclave.page_at(page_va) is None:
                 continue
             swap_out_page(self, enclave, state, self.swap_store, page_va)
+            self._sanitize_check("swap_out", enclave_id, page_va)
             evicted += 1
         return evicted
 
@@ -581,6 +616,7 @@ class RustMonitor:
     def quote(self, enclave_id: int, report_data: bytes,
               nonce: bytes) -> att.AttestationQuote:
         """Produce the full HyperEnclave quote (Figure 4)."""
+        self._charge_hypercall("quote")
         enclave = self._enclave(enclave_id)
         enclave.require_state(EnclaveState.INITIALIZED)
         report = att.EnclaveReport(

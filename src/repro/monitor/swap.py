@@ -127,6 +127,9 @@ def swap_out_page(monitor, enclave, state: EnclaveSwapState,
         del enclave.pages[page.offset]
         monitor._tlb_shootdown(enclave.enclave_id, page_va)
         monitor.machine.cycles.charge(SWAP_OUT_CYCLES, "swap-out")
+        san = monitor.machine.sanitizer
+        if san is not None:
+            san.on_swap_out(enclave, page_va, version, page.pa)
     tel.count("monitor", "swap.pages_out")
     return token
 
@@ -159,4 +162,7 @@ def swap_in_page(monitor, enclave, state: EnclaveSwapState,
         del state.records[page_va]
         store.drop(record.token)
         monitor.machine.cycles.charge(SWAP_IN_CYCLES, "swap-in")
+        san = monitor.machine.sanitizer
+        if san is not None:
+            san.on_swap_in(enclave, page_va, record.version, pa)
     tel.count("monitor", "swap.pages_in")

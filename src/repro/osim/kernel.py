@@ -12,7 +12,7 @@ from collections import deque
 from typing import Callable
 
 from repro.errors import OsError, PageFault
-from repro.hw import costs
+from repro.hw import costs, memaccess
 from repro.hw.machine import Machine
 from repro.hw.paging import PageTable, PageTableFlags
 from repro.hw.phys import NORMAL, PAGE_SIZE, FramePool
@@ -61,6 +61,10 @@ class Kernel:
         pt = PageTable(self.machine.phys, self.frame_pool.alloc,
                        self.frame_pool.free,
                        stats=self.machine.telemetry.paging_stats("os"))
+        if self.machine.sanitizer is not None:
+            # Process page tables are untrusted: the sanitizer rejects any
+            # attempt to map monitor/enclave frames through them.
+            self.machine.sanitizer.register_untrusted_pt(pt)
         process = Process(pid, pt)
         self.processes[pid] = process
         self.run_queue.append(pid)
@@ -71,6 +75,8 @@ class Kernel:
             for pa in vma.frames:
                 self.frame_pool.free(pa)
         process.pt.destroy()
+        if self.machine.sanitizer is not None:
+            self.machine.sanitizer.unregister_untrusted_pt(process.pt)
         process.alive = False
         self.processes.pop(process.pid, None)
         if process.pid in self.run_queue:
@@ -164,36 +170,29 @@ class Kernel:
 
     def user_read(self, process: Process, va: int, size: int) -> bytes:
         """Read user memory on behalf of the process (R-1 enforced)."""
-        out = bytearray()
-        while size > 0:
+        def translate(page_va: int) -> int:
             try:
-                pa = process.translate(va)
+                pa = process.translate(page_va)
             except PageFault:
-                self.handle_user_fault(process, va)
-                pa = process.translate(va)
+                self.handle_user_fault(process, page_va)
+                pa = process.translate(page_va)
             self._police(pa)
-            chunk = min(size, PAGE_SIZE - (va % PAGE_SIZE))
-            out += self.machine.phys.read(pa, chunk)
-            va += chunk
-            size -= chunk
-        return bytes(out)
+            return pa
+        return memaccess.copy_in(self.machine.phys, translate, va, size)
 
     def user_write(self, process: Process, va: int, data: bytes) -> None:
         """Write user memory on behalf of the process (R-1 enforced)."""
-        view = memoryview(data)
-        while view:
+        def translate(page_va: int) -> int:
             try:
-                pa = process.translate(va, write=True)
+                pa = process.translate(page_va, write=True)
             except PageFault as fault:
                 if fault.present:
                     raise
-                self.handle_user_fault(process, va, write=True)
-                pa = process.translate(va, write=True)
+                self.handle_user_fault(process, page_va, write=True)
+                pa = process.translate(page_va, write=True)
             self._police(pa)
-            chunk = min(len(view), PAGE_SIZE - (va % PAGE_SIZE))
-            self.machine.phys.write(pa, bytes(view[:chunk]))
-            va += chunk
-            view = view[chunk:]
+            return pa
+        memaccess.copy_out(self.machine.phys, translate, va, data)
 
     def _police(self, pa: int) -> None:
         if self.monitor is not None and self.monitor.os_demoted:

@@ -1,0 +1,111 @@
+"""repro-lint: the static prong of the sanitizer suite.
+
+Usage::
+
+    python -m repro.sanitizer.lint src/ [more paths...]
+                                   [--format=text|json]
+                                   [--config=path/to/pyproject.toml]
+
+Exit codes: 0 clean, 1 unsuppressed findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.sanitizer.lintconfig import (LintConfig, find_pyproject,
+                                        load_config)
+from repro.sanitizer.rules import Finding, lint_source
+
+USAGE_ERROR = 2
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            files.add(path)
+        else:
+            files.update(path.rglob("*.py"))
+    return sorted(files)
+
+
+def lint_paths(paths: list[Path],
+               config: LintConfig | None = None) -> list[Finding]:
+    """Lint every Python file under ``paths`` (the library entry point)."""
+    if config is None:
+        config = load_config(find_pyproject(paths[0].resolve()))
+    findings: list[Finding] = []
+    for file in collect_files(paths):
+        findings.extend(lint_source(file.read_text(), file, config))
+    return findings
+
+
+def render_report(findings: list[Finding], fmt: str) -> str:
+    """The text or JSON report body."""
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+    if fmt == "json":
+        return json.dumps({
+            "findings": [f.as_dict() for f in active],
+            "suppressed": [f.as_dict() for f in suppressed],
+            "counts": {"findings": len(active),
+                       "suppressed": len(suppressed)},
+        }, indent=2)
+    lines = [f.render() for f in active]
+    lines.append(f"{len(active)} finding(s), {len(suppressed)} "
+                 f"suppressed")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.sanitizer.lint",
+        description="Static repro-lint over simulation source trees.")
+    parser.add_argument("paths", nargs="+", help="files or directories")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--config", default=None,
+                        help="pyproject.toml holding [tool.repro-lint]")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors already; normalize --help to 0.
+        return int(exc.code or 0)
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {missing[0]}", file=sys.stderr)
+        return USAGE_ERROR
+    if args.config is not None:
+        config_path = Path(args.config)
+        if not config_path.is_file():
+            print(f"error: no such config: {config_path}", file=sys.stderr)
+            return USAGE_ERROR
+        config = load_config(config_path)
+    else:
+        config = load_config(find_pyproject(paths[0].resolve()))
+    try:
+        findings = lint_paths(paths, config)
+    except SyntaxError as exc:
+        print(f"error: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+              file=sys.stderr)
+        return USAGE_ERROR
+    print(render_report(findings, args.format))
+    return 1 if any(not f.suppressed for f in findings) else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Reader went away (e.g. piped into `head`): exit like a
+        # SIGPIPE kill, not 0 — findings may have gone unreported.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(128 + 13)

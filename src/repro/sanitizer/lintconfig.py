@@ -1,0 +1,64 @@
+"""Configuration for repro-lint: the ``[tool.repro-lint]`` pyproject table.
+
+Recognized keys::
+
+    [tool.repro-lint]
+    disable = ["R004"]              # rules turned off entirely
+    exclude = ["repro/vendored/"]   # path fragments skipped by every rule
+
+    [tool.repro-lint.rule-excludes] # path fragments skipped per rule
+    R001 = ["repro/telemetry/"]
+
+Path fragments are matched as substrings of the POSIX-style file path,
+so ``"repro/telemetry/"`` excludes the whole package.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class LintConfig:
+    """Resolved repro-lint settings."""
+
+    disable: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    rule_excludes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def rule_enabled(self, rule: str) -> bool:
+        """Whether ``rule`` runs at all."""
+        return rule not in self.disable
+
+    def path_excluded(self, rule: str, path: Path) -> bool:
+        """Whether ``path`` is out of scope for ``rule``."""
+        posix = path.as_posix()
+        if any(fragment in posix for fragment in self.exclude):
+            return True
+        return any(fragment in posix
+                   for fragment in self.rule_excludes.get(rule, ()))
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Walk up from ``start`` to the nearest pyproject.toml."""
+    for directory in [start, *start.parents]:
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(pyproject: Path | None) -> LintConfig:
+    """Read ``[tool.repro-lint]``; absent file or table means defaults."""
+    if pyproject is None or not pyproject.is_file():
+        return LintConfig()
+    with open(pyproject, "rb") as fh:
+        data = tomllib.load(fh)
+    table = data.get("tool", {}).get("repro-lint", {})
+    rule_excludes = {rule: tuple(paths) for rule, paths in
+                     table.get("rule-excludes", {}).items()}
+    return LintConfig(disable=tuple(table.get("disable", ())),
+                      exclude=tuple(table.get("exclude", ())),
+                      rule_excludes=rule_excludes)

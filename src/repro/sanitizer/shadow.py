@@ -1,0 +1,152 @@
+"""The shadow state the runtime sanitizer keeps in lockstep.
+
+ASan-style: every mutation of the real state (frame ownership, page-table
+entries, TLB, swap metadata, measurements) is mirrored here through hooks,
+and the invariant checkers compare shadow against reality.  Divergence
+means some code path mutated state without going through the hooked
+surface — exactly the bug class the sanitizer exists to catch.
+
+Everything in here is observation only: no cycles are charged, no
+simulated hardware is touched, and all bookkeeping is deterministic
+(sequence numbers, not wall time), so enabling the sanitizer leaves every
+calibrated benchmark number bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.sanitizer.violation import FrameTransition
+
+# Per-frame histories are capped so a long-lived machine cannot grow
+# without bound; the global ring keeps the most recent transitions across
+# all frames for "what just happened" forensics.
+HISTORY_PER_FRAME = 8
+RING_CAPACITY = 512
+# Bulk retags (e.g. the boot-time reservation of the whole monitor
+# region) record one range entry in the ring instead of one entry per
+# frame — per-frame history starts at the first individual transition.
+BULK_THRESHOLD = 64
+
+
+def render_owner(owner) -> str:
+    """Render an :class:`~repro.hw.phys.Owner` tag compactly."""
+    if owner.enclave_id is not None:
+        return f"{owner.kind.value}:{owner.enclave_id}"
+    return owner.kind.value
+
+
+@dataclass
+class MeasurementSnapshot:
+    """The frozen identity of one enclave, taken at EINIT."""
+
+    mrenclave: bytes
+    mrsigner: bytes
+    page_hashes: dict[int, bytes] = field(default_factory=dict)
+
+
+class ShadowMemory:
+    """Shadow ownership model plus the sanitizer's auxiliary shadows."""
+
+    def __init__(self) -> None:
+        # frame number -> Owner, mirroring PhysicalMemory's internal map
+        # (FREE frames are absent, matching the real representation).
+        self.owners: dict[int, object] = {}
+        # Frames mutated since the last lockstep check.
+        self.dirty: set[int] = set()
+        self.history: dict[int, deque[FrameTransition]] = {}
+        self.ring: deque[FrameTransition] = deque(maxlen=RING_CAPACITY)
+        # Shadow TLB-coherence protocol: (asid, vpn) entries whose
+        # translation went stale (unmap/protect) and whose shootdown has
+        # not been observed yet.  Must be empty after every monitor op.
+        self.pending_shootdowns: dict[tuple[int, int], str] = {}
+        # frame number -> set of enclave ids whose page table maps it.
+        self.frame_mappers: dict[int, set[int]] = {}
+        # Swap anti-replay shadow: (enclave id, page va) -> version, and
+        # the per-enclave high-water mark versions must keep climbing.
+        self.swap_versions: dict[tuple[int, int], int] = {}
+        self.swap_last_version: dict[int, int] = {}
+        self.measurements: dict[int, MeasurementSnapshot] = {}
+        self.seq = 0
+        self.current_op = "boot"
+
+    # -- ownership transitions ----------------------------------------------
+
+    def record_owner(self, frame: int, owner, npages: int) -> None:
+        """Mirror a ``set_owner`` call (called from the phys hook)."""
+        from repro.hw.phys import OwnerKind
+        free = owner.kind is OwnerKind.FREE
+        for i in range(frame, frame + npages):
+            if free:
+                self.owners.pop(i, None)
+            else:
+                self.owners[i] = owner
+            self.dirty.add(i)
+        self.seq += 1
+        rendered = render_owner(owner)
+        transition = FrameTransition(seq=self.seq, frame=frame,
+                                     owner=rendered, op=self.current_op,
+                                     npages=npages)
+        self.ring.append(transition)
+        if npages <= BULK_THRESHOLD:
+            for i in range(frame, frame + npages):
+                per_frame = self.history.get(i)
+                if per_frame is None:
+                    per_frame = deque(maxlen=HISTORY_PER_FRAME)
+                    self.history[i] = per_frame
+                per_frame.append(FrameTransition(
+                    seq=self.seq, frame=i, owner=rendered,
+                    op=self.current_op))
+
+    def frame_history(self, frame: int) -> tuple[FrameTransition, ...]:
+        """Everything known about one frame, oldest first."""
+        per_frame = self.history.get(frame)
+        if per_frame:
+            return tuple(per_frame)
+        # Fall back to bulk-range ring entries covering the frame.
+        return tuple(t for t in self.ring
+                     if t.frame <= frame < t.frame + t.npages)
+
+    # -- TLB-coherence protocol ---------------------------------------------
+
+    def translation_stale(self, asid: int, vpn: int, op: str) -> None:
+        self.pending_shootdowns[(asid, vpn)] = op
+
+    def shootdown_observed(self, asid: int, vpn: int) -> None:
+        self.pending_shootdowns.pop((asid, vpn), None)
+
+    def flush_observed(self, asid: int | None = None) -> None:
+        if asid is None:
+            self.pending_shootdowns.clear()
+            return
+        for key in [k for k in self.pending_shootdowns if k[0] == asid]:
+            del self.pending_shootdowns[key]
+
+    # -- monitor (re)boot ----------------------------------------------------
+
+    def reset_monitor_state(self) -> None:
+        """Forget monitor-scoped shadows when a new RustMonitor boots.
+
+        The frame-ownership shadow survives (physical memory does), but
+        enclave ids, swap versions, measurements and pending shootdowns
+        are all scoped to one monitor instance.
+        """
+        self.pending_shootdowns.clear()
+        self.frame_mappers.clear()
+        self.swap_versions.clear()
+        self.swap_last_version.clear()
+        self.measurements.clear()
+        self.current_op = "boot"
+
+    # -- per-enclave teardown -----------------------------------------------
+
+    def drop_enclave(self, enclave_id: int) -> None:
+        """Forget everything about one enclave (EREMOVE)."""
+        for mappers in self.frame_mappers.values():
+            mappers.discard(enclave_id)
+        self.flush_observed(enclave_id)
+        for key in [k for k in self.swap_versions if k[0] == enclave_id]:
+            del self.swap_versions[key]
+        self.swap_last_version.pop(enclave_id, None)
+        self.measurements.pop(enclave_id, None)

@@ -1,0 +1,77 @@
+"""Structured sanitizer violations.
+
+A :class:`SanitizerViolation` subclasses :class:`~repro.errors.
+SecurityViolation` so every existing ``pytest.raises(SecurityViolation)``
+site keeps working, but adds a machine-checkable ``code`` and the frame
+history (allocation site, last transitions, owning operation) that makes
+a report actionable.
+
+Violation codes — one per invariant:
+
+========== ==================================================================
+SAN-OWNER  an enclave page table maps a frame it does not own (I-1)
+SAN-ALIAS  one physical frame is mapped by two enclaves (I-2)
+SAN-NPT    the normal VM's NPT covers monitor/enclave frames (I-3)
+SAN-ELRANGE a committed enclave page lies outside its ELRANGE (I-4)
+SAN-WX     an enclave mapping is both WRITABLE and executable
+SAN-REACH  a monitor/EPC frame is reachable from an untrusted page table
+SAN-TLB    a TLB entry may outlive an unmap/protect (missing shootdown)
+SAN-SWAP   swap in/out broke ownership or version-counter monotonicity
+SAN-MEASURE a measurement register or measured page changed after EINIT
+SAN-SHADOW the shadow ownership model diverged from physical memory
+========== ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SecurityViolation
+
+SAN_OWNER = "SAN-OWNER"
+SAN_ALIAS = "SAN-ALIAS"
+SAN_NPT = "SAN-NPT"
+SAN_ELRANGE = "SAN-ELRANGE"
+SAN_WX = "SAN-WX"
+SAN_REACH = "SAN-REACH"
+SAN_TLB = "SAN-TLB"
+SAN_SWAP = "SAN-SWAP"
+SAN_MEASURE = "SAN-MEASURE"
+SAN_SHADOW = "SAN-SHADOW"
+
+ALL_CODES = (SAN_OWNER, SAN_ALIAS, SAN_NPT, SAN_ELRANGE, SAN_WX, SAN_REACH,
+             SAN_TLB, SAN_SWAP, SAN_MEASURE, SAN_SHADOW)
+
+
+@dataclass(frozen=True)
+class FrameTransition:
+    """One ownership transition of one physical frame.
+
+    ``seq`` is a deterministic global sequence number (not wall time) so
+    transition ordering is reproducible run to run.
+    """
+
+    seq: int
+    frame: int                 # frame number (pa >> PAGE_SHIFT)
+    owner: str                 # new owner tag, rendered
+    op: str                    # monitor operation / site that caused it
+    npages: int = 1            # >1 for bulk range transitions
+
+    def render(self) -> str:
+        span = f"+{self.npages}" if self.npages > 1 else ""
+        return (f"#{self.seq} frame {self.frame:#x}{span} -> "
+                f"{self.owner} during {self.op}")
+
+
+class SanitizerViolation(SecurityViolation):
+    """A monitor invariant was broken; carries code + frame history."""
+
+    def __init__(self, code: str, message: str,
+                 history: tuple[FrameTransition, ...] = ()) -> None:
+        self.code = code
+        self.history = tuple(history)
+        text = f"[{code}] {message}"
+        if self.history:
+            lines = "\n".join("  " + t.render() for t in self.history)
+            text = f"{text}\nframe history (oldest first):\n{lines}"
+        super().__init__(text)

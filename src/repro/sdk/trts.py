@@ -10,12 +10,13 @@ mode-dependent exception machinery of Table 2.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable
 
 from repro.crypto.cipher import aead_decrypt, aead_encrypt
 from repro.errors import (EnclaveError, PageFault, SdkError,
                           SecurityViolation)
-from repro.hw import costs
+from repro.hw import costs, memaccess
 from repro.hw.phys import PAGE_SIZE
 from repro.monitor.enclave import Enclave
 from repro.monitor.sealing import SealPolicy
@@ -100,19 +101,12 @@ class EnclaveContext:
 
     def _access(self, va: int, size: int, *, write: bool,
                 data: bytes | None = None) -> bytes:
-        out = bytearray()
-        view = memoryview(data) if data is not None else None
-        while size > 0:
-            pa = self._translate_with_demand_paging(va, write=write)
-            chunk = min(size, PAGE_SIZE - (va % PAGE_SIZE))
-            if write:
-                self._machine.phys.write(pa, bytes(view[:chunk]))
-                view = view[chunk:]
-            else:
-                out += self._machine.phys.read(pa, chunk)
-            va += chunk
-            size -= chunk
-        return bytes(out)
+        translate = functools.partial(
+            self._translate_with_demand_paging, write=write)
+        if write:
+            memaccess.copy_out(self._machine.phys, translate, va, data)
+            return b""
+        return memaccess.copy_in(self._machine.phys, translate, va, size)
 
     def _translate_with_demand_paging(self, va: int, *, write: bool) -> int:
         try:

@@ -138,10 +138,12 @@ class TestUserMemory:
         p = kernel.spawn()
         vma = kernel.mmap(p, PAGE_SIZE, populate=True)
         # Malicious kernel: remap the user page onto the enclave's frame.
+        # The sanitizer (REPRO_SANITIZE=1) rejects the forged PTE at map
+        # time; without it, the physical access is what gets blocked.
         from repro.hw.paging import PageTableFlags
         p.pt.unmap(vma.start)
-        p.pt.map(vma.start, enclave.pages[0].pa, PageTableFlags.URW)
         with pytest.raises(SecurityViolation):
+            p.pt.map(vma.start, enclave.pages[0].pa, PageTableFlags.URW)
             kernel.user_read(p, vma.start, 8)
 
 

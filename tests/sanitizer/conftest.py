@@ -1,0 +1,27 @@
+"""Fixtures: platforms with the runtime sanitizer forced on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.machine import Machine, MachineConfig
+from repro.monitor.boot import measured_late_launch
+
+SANITIZED_CONFIG = dict(
+    phys_size=512 * 1024 * 1024,
+    reserved_base=256 * 1024 * 1024,
+    reserved_size=128 * 1024 * 1024,
+)
+
+
+@pytest.fixture
+def sanitized_platform():
+    """A booted machine with RustMonitor and the sanitizer attached.
+
+    ``sanitize=True`` in the config overrides the environment, so these
+    tests behave identically with and without ``REPRO_SANITIZE=1``.
+    """
+    machine = Machine(MachineConfig(sanitize=True, **SANITIZED_CONFIG))
+    result = measured_late_launch(machine,
+                                  monitor_private_size=32 * 1024 * 1024)
+    return machine, result

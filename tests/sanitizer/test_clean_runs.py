@@ -1,0 +1,101 @@
+"""Clean-path properties: zero violations, zero cycle perturbation.
+
+The sanitizer must be a pure observer — a full enclave lifecycle under
+``sanitize=True`` raises nothing, and every cycle/TLB/LLC number is
+bit-identical to the same sequence with the sanitizer off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.machine import Machine, MachineConfig
+from repro.monitor.boot import measured_late_launch
+from repro.monitor.enclave import ENCLAVE_BASE_VA
+from repro.monitor.structs import PagePerm
+from repro.hw.phys import PAGE_SIZE
+from tests.monitor.conftest import build_minimal_enclave
+from tests.sanitizer.conftest import SANITIZED_CONFIG
+
+
+def _run_lifecycle(sanitize: bool):
+    """One deterministic monitor workout; returns the machine."""
+    machine = Machine(MachineConfig(sanitize=sanitize, **SANITIZED_CONFIG))
+    boot = measured_late_launch(machine,
+                                monitor_private_size=32 * 1024 * 1024)
+    monitor = boot.monitor
+    eid, enclave = build_minimal_enclave(monitor, machine)
+    heap = ENCLAVE_BASE_VA + 16 * PAGE_SIZE
+    for i in range(8):
+        monitor.handle_enclave_page_fault(eid, heap + i * PAGE_SIZE,
+                                          write=True)
+    monitor.swap_out(eid, heap, npages=4)
+    for i in range(4):                       # transparent swap-in faults
+        monitor.handle_enclave_page_fault(eid, heap + i * PAGE_SIZE,
+                                          write=True)
+    monitor.enclave_mprotect(eid, heap, 2, PagePerm.R)
+    monitor.enclave_mprotect(eid, heap, 2, PagePerm.RW)
+    monitor.enclave_trim(eid, heap + 4 * PAGE_SIZE, 2)
+    monitor.ereport(eid, b"x" * 64, enclave.secs.mrenclave)
+    monitor.egetkey(eid)
+    monitor.quote(eid, b"y" * 64, b"n" * 16)
+    monitor.eremove(eid)
+    return machine
+
+
+def test_full_lifecycle_zero_violations(sanitized_platform):
+    machine, boot = sanitized_platform
+    monitor = boot.monitor
+    eid, enclave = build_minimal_enclave(monitor, machine)
+    heap = ENCLAVE_BASE_VA + 16 * PAGE_SIZE
+    for i in range(4):
+        monitor.handle_enclave_page_fault(eid, heap + i * PAGE_SIZE,
+                                          write=True)
+    monitor.swap_out(eid, heap, npages=2)
+    monitor.handle_enclave_page_fault(eid, heap, write=True)
+    monitor.audit_invariants()
+    monitor.eremove(eid)
+    monitor.audit_invariants()
+    assert machine.sanitizer.violations == 0
+
+
+def test_trim_and_eremove_return_frames_to_pool(sanitized_platform):
+    """EREMOVE/TRIM must leave every released frame FREE — asserted by
+    the monitor itself via the sanitizer's fail path."""
+    machine, boot = sanitized_platform
+    monitor = boot.monitor
+    free_before = monitor.epc_pool.free_pages
+    eid, enclave = build_minimal_enclave(monitor, machine)
+    heap = ENCLAVE_BASE_VA + 16 * PAGE_SIZE
+    monitor.handle_enclave_page_fault(eid, heap, write=True)
+    assert monitor.enclave_trim(eid, heap, 1) == 1
+    monitor.eremove(eid)
+    assert monitor.epc_pool.free_pages == free_before
+
+
+def test_sanitizer_leaves_cycles_bit_identical():
+    """The acceptance bar: same op sequence, sanitizer on vs off, every
+    accounting number identical to the last bit."""
+    plain = _run_lifecycle(sanitize=False)
+    sanitized = _run_lifecycle(sanitize=True)
+    assert plain.cycles.total == sanitized.cycles.total
+    assert plain.cycles.breakdown() == sanitized.cycles.breakdown()
+    assert plain.tlb.stats() == sanitized.tlb.stats()
+    assert plain.llc.stats() == sanitized.llc.stats()
+    assert sanitized.sanitizer.violations == 0
+
+
+def test_reboot_and_relaunch_resets_monitor_shadow():
+    """A second measured launch on the same machine must not inherit the
+    first monitor's enclave-scoped shadow state."""
+    machine = Machine(MachineConfig(sanitize=True, **SANITIZED_CONFIG))
+    boot = measured_late_launch(machine,
+                                monitor_private_size=32 * 1024 * 1024)
+    build_minimal_enclave(boot.monitor, machine)
+    machine.reboot()
+    boot2 = measured_late_launch(machine,
+                                 sealed_root_key=boot.sealed_root_key,
+                                 monitor_private_size=32 * 1024 * 1024)
+    eid, _ = build_minimal_enclave(boot2.monitor, machine)
+    boot2.monitor.audit_invariants()
+    assert machine.sanitizer.violations == 0

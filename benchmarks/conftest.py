@@ -7,8 +7,11 @@ key numbers in ``benchmark.extra_info``, and asserts the paper's *shape*
 numbers, except for the microbenchmarks whose cost itemizations are
 calibrated to land exactly.
 
-Results are also appended to ``benchmarks/results.json`` so
-EXPERIMENTS.md can be cross-checked against a real run.
+Results are also appended to ``benchmarks/results.json`` (untracked
+scratch output, regenerable with ``python -m repro.bench run``) so
+EXPERIMENTS.md can be cross-checked against a real run; the *committed*
+result record is ``benchmarks/baselines/BENCH_*.json``, gated by
+``python -m repro.bench check`` in CI.
 """
 
 from __future__ import annotations

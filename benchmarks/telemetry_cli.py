@@ -1,21 +1,16 @@
-"""Benchmark-side telemetry plumbing (``--telemetry-out``).
+"""Benchmark-side telemetry plumbing (``--telemetry-out``) — thin wrapper.
 
-A :class:`TelemetrySink` collects every ``(label, Telemetry)`` pair the
-benchmarks create while it is active; at the end of the run it writes the
-JSON snapshot plus the Chrome trace via
-:func:`repro.telemetry.export.write_telemetry`.
+The sink itself lives in :mod:`repro.telemetry.sink` (machines register
+with it automatically at construction); this module re-exports the old
+names so existing imports keep working, keeps :func:`run_cli` for the
+per-benchmark ``main()`` entry points with the original flags
+(``--telemetry-out``, ``--top``), and adds a generalized CLI over the
+:mod:`repro.bench` registry::
 
-Two entry points activate a sink:
+    python -m benchmarks.telemetry_cli table1_edge_calls \
+        --telemetry-out out.json --profile-out out.profile.json
 
-* the pytest option ``--telemetry-out PATH`` (wired in ``conftest.py``),
-  covering ``pytest benchmarks/ --telemetry-out out.json``;
-* :func:`run_cli`, the ``python -m benchmarks.bench_table1_edge_calls
-  --telemetry-out out.json`` path used by the CI smoke job.
-
-``load_platform_and_handle`` consults :func:`current` so platform
-creation registers its machine automatically; when no sink is active the
-benchmarks run exactly as before — telemetry stays disabled and the
-calibrated cycle counts are untouched.
+which works for *any* registered benchmark, not just Table 1.
 """
 
 from __future__ import annotations
@@ -23,85 +18,13 @@ from __future__ import annotations
 import argparse
 import json
 
-from repro.telemetry import Telemetry
-from repro.telemetry.export import top_report, snapshot_document, \
-    write_telemetry
-
-_ACTIVE: "TelemetrySink | None" = None
+from repro.telemetry.sink import (TelemetrySink, activate, capture,  # noqa: F401
+                                  current, deactivate)
 
 
-class TelemetrySink:
-    """Collects the telemetry hubs of every machine a run creates."""
-
-    def __init__(self) -> None:
-        self._items: list[tuple[str, Telemetry]] = []
-        self._labels: set[str] = set()
-
-    def register(self, label: str, telemetry: Telemetry) -> str:
-        """Track one machine's telemetry (enabling it); returns the
-        de-duplicated label actually used."""
-        base, n = label, 1
-        while label in self._labels:
-            n += 1
-            label = f"{base}-{n}"
-        self._labels.add(label)
-        telemetry.enable()
-        self._items.append((label, telemetry))
-        return label
-
-    @property
-    def items(self) -> list[tuple[str, Telemetry]]:
-        """The registered ``(label, telemetry)`` pairs, in creation order."""
-        return list(self._items)
-
-    def write(self, snapshot_path) -> tuple:
-        """Write snapshot + Chrome trace; returns both paths."""
-        return write_telemetry(snapshot_path, self._items)
-
-    def report(self, n: int = 10) -> str:
-        """The plain-text top-N digest for this run."""
-        return top_report(snapshot_document(self._items), n)
-
-
-def activate(sink: TelemetrySink) -> None:
-    """Make ``sink`` the process-wide active sink."""
-    global _ACTIVE
-    _ACTIVE = sink
-
-
-def deactivate() -> None:
-    """Clear the active sink."""
-    global _ACTIVE
-    _ACTIVE = None
-
-
-def current() -> TelemetrySink | None:
-    """The active sink, or None when telemetry was not requested."""
-    return _ACTIVE
-
-
-def run_cli(description: str, run_experiment, argv=None) -> int:
-    """Standalone-benchmark main: run the experiment, honouring
-    ``--telemetry-out`` (and printing the top-N digest when set)."""
-    parser = argparse.ArgumentParser(description=description)
-    parser.add_argument("--telemetry-out", metavar="PATH", default=None,
-                        help="write a telemetry JSON snapshot here (plus "
-                             "a Chrome trace next to it)")
-    parser.add_argument("--top", type=int, default=10, metavar="N",
-                        help="rows in the printed top-N digest")
-    args = parser.parse_args(argv)
-
-    sink = None
-    if args.telemetry_out:
-        sink = TelemetrySink()
-        activate(sink)
-    try:
-        results = run_experiment()
-    finally:
-        deactivate()
-
-    print(json.dumps(results, indent=2, sort_keys=True, default=str))
-    if sink is not None:
+def _emit(sink: TelemetrySink, args) -> None:
+    """Write the requested outputs for one captured run."""
+    if args.telemetry_out and sink.items:
         snapshot_path, trace_path = sink.write(args.telemetry_out)
         print()
         print(sink.report(args.top))
@@ -109,4 +32,75 @@ def run_cli(description: str, run_experiment, argv=None) -> int:
         print(f"telemetry snapshot: {snapshot_path}")
         print(f"chrome trace:       {trace_path} "
               f"(load in https://ui.perfetto.dev)")
+    profile_out = getattr(args, "profile_out", None)
+    if profile_out and sink.items:
+        import pathlib
+
+        from repro.profiler import profile_document, write_collapsed
+        document = profile_document(sink.items)
+        path = pathlib.Path(profile_out)
+        path.write_text(json.dumps(document, indent=2, sort_keys=True))
+        collapsed = write_collapsed(path.with_suffix(".collapsed"),
+                                    document)
+        print(f"cycle profile:      {path}")
+        print(f"collapsed stacks:   {collapsed} "
+              f"(load with flamegraph.pl or speedscope)")
+
+
+def _parser(description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--telemetry-out", metavar="PATH", default=None,
+                        help="write a telemetry JSON snapshot here (plus "
+                             "a Chrome trace next to it)")
+    parser.add_argument("--profile-out", metavar="PATH", default=None,
+                        help="write the exact cycle profile here (plus a "
+                             "flamegraph-ready .collapsed next to it)")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="rows in the printed top-N digest")
+    return parser
+
+
+def _captured(fn, args):
+    """Run ``fn`` under a sink iff any telemetry output was requested —
+    with no output flags the benchmark runs with telemetry disabled,
+    exactly as before."""
+    if not (args.telemetry_out or args.profile_out):
+        return fn(), None
+    with capture() as sink:
+        results = fn()
+    return results, sink
+
+
+def run_cli(description: str, run_experiment, argv=None) -> int:
+    """Standalone-benchmark main: run the experiment, honouring
+    ``--telemetry-out`` (and printing the top-N digest when set)."""
+    args = _parser(description).parse_args(argv)
+    results, sink = _captured(run_experiment, args)
+    print(json.dumps(results, indent=2, sort_keys=True, default=str))
+    if sink is not None:
+        _emit(sink, args)
     return 0
+
+
+def main(argv=None) -> int:
+    """The generalized entry point: run any registered benchmark."""
+    from repro.bench.registry import REGISTRY, resolve
+    parser = _parser("run one registered benchmark with telemetry capture")
+    parser.add_argument("benchmark", metavar="NAME",
+                        help="a benchmark name from `python -m repro.bench "
+                             "list` (e.g. table1_edge_calls)")
+    args = parser.parse_args(argv)
+    try:
+        (spec,) = resolve([args.benchmark])
+    except KeyError:
+        parser.error(f"unknown benchmark {args.benchmark!r}; known: "
+                     f"{', '.join(sorted(REGISTRY))}")
+    figures, sink = _captured(spec.run, args)
+    print(json.dumps(figures, indent=2, sort_keys=True, default=str))
+    if sink is not None:
+        _emit(sink, args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,10 @@ Usage::
 Prints a compact paper-vs-measured digest of the recorded benchmark run —
 the data EXPERIMENTS.md is written from.  When a telemetry snapshot is
 given (or ``telemetry.json`` sits next to the results file), the digest
-ends with the top-N "where did the cycles go" section.
+ends with the top-N "where did the cycles go" section; when committed
+``BENCH_*.json`` baselines sit in ``benchmarks/baselines/``, their
+perf-trajectory digest (cycle totals + hottest profile frames) is
+appended too.
 """
 
 from __future__ import annotations
@@ -28,6 +31,35 @@ PAPER = {
 
 def _line(out: list[str], text: str = "") -> None:
     out.append(text)
+
+
+def render_baselines(baseline_dir: pathlib.Path) -> str:
+    """Markdown digest of the committed ``BENCH_*.json`` baselines."""
+    from repro.bench.artifact import load_artifact
+    out: list[str] = ["## Committed bench baselines "
+                      "(`python -m repro.bench check` gates these)"]
+    for path in sorted(baseline_dir.glob("BENCH_*.json")):
+        try:
+            artifact = load_artifact(path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            out.append(f"- {path.name}: INVALID ({exc})")
+            continue
+        line = (f"- **{artifact['name']}** ({artifact['bench_kind']}, "
+                f"±{100 * artifact.get('tolerance', 0):g}%): "
+                f"{len(artifact['metrics'])} gated metrics")
+        telemetry = artifact.get("telemetry")
+        if telemetry:
+            line += (f", {telemetry['total_cycles']:,.0f} simulated "
+                     f"cycles over {telemetry['machines']} machine(s)")
+        out.append(line)
+        profile = artifact.get("profile")
+        if profile and profile.get("top_self"):
+            top = profile["top_self"][0]
+            out.append(f"  - hottest frame: `{top['stack']}` "
+                       f"({top['self_cycles']:,} self cycles, "
+                       f"{top['calls']} calls)")
+    out.append("")
+    return "\n".join(out)
 
 
 def render(results: dict, telemetry: dict | None = None) -> str:
@@ -110,6 +142,9 @@ def main(argv: list[str] | None = None) -> int:
     telemetry = json.loads(telemetry_path.read_text()) \
         if telemetry_path.exists() else None
     print(render(json.loads(path.read_text()), telemetry))
+    baseline_dir = path.with_name("baselines")
+    if baseline_dir.is_dir() and any(baseline_dir.glob("BENCH_*.json")):
+        print(render_baselines(baseline_dir))
     return 0
 
 

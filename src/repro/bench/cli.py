@@ -1,0 +1,139 @@
+"""The bench-harness CLI: ``python -m repro.bench run|check|diff|list``.
+
+* ``run``   — execute benchmarks (default: the gate set) and write
+  ``BENCH_<name>.json`` baselines plus flamegraph/trace side artifacts;
+* ``check`` — re-run and gate against the committed baselines; exit 1 on
+  any regression (this is CI's ``bench-gate`` job);
+* ``diff``  — compare two artifacts: per-metric deltas plus the top
+  profile frame movements;
+* ``list``  — show the registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.artifact import load_artifact
+from repro.bench.compare import compare_artifacts, compare_report
+from repro.bench.registry import REGISTRY, resolve
+from repro.bench.runner import (DEFAULT_BASELINE_DIR, DEFAULT_RESULTS_PATH,
+                                check_benches, run_benches)
+
+
+def _add_selection(parser) -> None:
+    parser.add_argument("benchmarks", nargs="*", metavar="NAME",
+                        help="benchmark names (default: the gate set)")
+    parser.add_argument("--all", action="store_true", dest="all_benches",
+                        help="every registered benchmark")
+    parser.add_argument("--baseline-dir", default=str(DEFAULT_BASELINE_DIR),
+                        metavar="DIR",
+                        help="where BENCH_<name>.json baselines live")
+    parser.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="also write telemetry snapshot + Chrome trace "
+                             "+ profile + collapsed stacks here")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="skip building cycle profiles")
+
+
+def _cmd_list(args) -> int:
+    width = max(len(name) for name in REGISTRY)
+    for name, spec in REGISTRY.items():
+        gate = "gate" if spec.gate else "    "
+        print(f"  {name:<{width}}  [{spec.kind:<8}] [{gate}] "
+              f"tol={spec.tolerance:.1%}  {spec.title}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    specs = resolve(args.benchmarks, all_benches=args.all_benches)
+    results_path = None if args.no_results else DEFAULT_RESULTS_PATH
+    run_benches(specs, baseline_dir=args.baseline_dir,
+                artifacts_dir=args.artifacts,
+                results_path=results_path,
+                profile=not args.no_profile)
+    print(f"wrote {len(specs)} baseline artifact(s) to "
+          f"{args.baseline_dir}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    specs = resolve(args.benchmarks, all_benches=args.all_benches)
+    results = check_benches(specs, baseline_dir=args.baseline_dir,
+                            artifacts_dir=args.artifacts,
+                            profile=not args.no_profile)
+    if args.json:
+        print(json.dumps([r.as_dict() for r in results], indent=2))
+    else:
+        print(compare_report(results, verbose=args.verbose))
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_diff(args) -> int:
+    baseline = load_artifact(args.base)
+    current = load_artifact(args.current)
+    result = compare_artifacts(baseline, current)
+    print(compare_report([result], verbose=args.verbose))
+    base_profile = baseline.get("profile")
+    cur_profile = current.get("profile")
+    if base_profile and cur_profile:
+        base_frames = {f["stack"]: f for f in base_profile["top_self"]}
+        cur_frames = {f["stack"]: f for f in cur_profile["top_self"]}
+        moved = []
+        for stack in sorted(set(base_frames) | set(cur_frames)):
+            b = base_frames.get(stack, {}).get("self_cycles", 0)
+            c = cur_frames.get(stack, {}).get("self_cycles", 0)
+            if b != c:
+                moved.append((abs(c - b), c - b, stack, b, c))
+        if moved:
+            print("\ntop profile frame deltas (self cycles):")
+            for _, delta, stack, b, c in sorted(moved, reverse=True)[:args.top]:
+                print(f"  {delta:>+14,}  {stack}  ({b:,} -> {c:,})")
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="benchmark runner + regression gate over BENCH_*.json "
+                    "baselines")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="show the benchmark registry")
+    p.set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("run", help="run benchmarks and write baselines")
+    _add_selection(p)
+    p.add_argument("--no-results", action="store_true",
+                   help="do not update benchmarks/results.json")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("check",
+                       help="re-run and gate against committed baselines "
+                            "(exit 1 on regression)")
+    _add_selection(p)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable gate report")
+    p.add_argument("--verbose", action="store_true",
+                   help="show every compared metric, not just failures")
+    p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser("diff", help="compare two BENCH_*.json artifacts")
+    p.add_argument("base")
+    p.add_argument("current")
+    p.add_argument("--top", type=int, default=10, metavar="N")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (KeyError, OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

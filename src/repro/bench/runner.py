@@ -1,0 +1,168 @@
+"""Run benchmarks with full observability and emit/check artifacts.
+
+``run_one`` executes one registered benchmark with a fresh process-wide
+telemetry sink active, so every machine the experiment creates is
+captured (the :class:`~repro.hw.machine.Machine` constructor registers
+itself); from the captured spans it builds the exact cycle profile, then
+assembles the ``BENCH_<name>.json`` artifact.
+
+Telemetry and the profiler observe the simulated clock and charge
+nothing, so the artifact's calibrated figure values are identical to a
+bare run — the gate compares like with like.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+
+from repro.bench.artifact import (artifact_path, build_artifact,
+                                  load_artifact, write_artifact)
+from repro.bench.compare import CompareResult, compare_artifacts
+from repro.bench.registry import BenchSpec
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+DEFAULT_RESULTS_PATH = REPO_ROOT / "benchmarks" / "results.json"
+
+
+def _ensure_benchmarks_importable() -> None:
+    """Put the repo root on sys.path so ``benchmarks.*`` imports."""
+    try:
+        import benchmarks  # noqa: F401
+        return
+    except ImportError:
+        pass
+    sys.path.insert(0, str(REPO_ROOT))
+
+
+@dataclass
+class RunOutput:
+    """Everything one benchmark run produced."""
+
+    spec: BenchSpec
+    artifact: dict
+    telemetry_doc: dict | None
+    profile_doc: dict | None
+    written: list[pathlib.Path]
+
+
+def run_one(spec: BenchSpec, *, profile: bool = True,
+            artifacts_dir: str | pathlib.Path | None = None) -> RunOutput:
+    """Run one benchmark under a fresh telemetry sink; build its artifact.
+
+    When ``artifacts_dir`` is given, the side artifacts land there:
+    ``<name>.telemetry.json`` + ``<name>.telemetry.trace.json`` (snapshot
+    and Chrome trace), ``<name>.profile.json`` (full profile document)
+    and ``<name>.collapsed`` (flamegraph-ready stacks).
+    """
+    from repro.profiler import profile_document, write_collapsed
+    from repro.telemetry import sink as telemetry_sink
+
+    _ensure_benchmarks_importable()
+    with telemetry_sink.capture() as sink:
+        figures = spec.run()
+
+    telemetry_doc = sink.document() if sink.items else None
+    profile_doc = profile_document(sink.items) \
+        if profile and sink.items else None
+    artifact = build_artifact(spec, figures, telemetry_doc, profile_doc)
+
+    written: list[pathlib.Path] = []
+    if artifacts_dir is not None:
+        artifacts_dir = pathlib.Path(artifacts_dir)
+        artifacts_dir.mkdir(parents=True, exist_ok=True)
+        if sink.items:
+            written.extend(
+                sink.write(artifacts_dir / f"{spec.name}.telemetry.json"))
+        if profile_doc is not None:
+            profile_path = artifacts_dir / f"{spec.name}.profile.json"
+            profile_path.write_text(
+                json.dumps(profile_doc, indent=2, sort_keys=True))
+            written.append(profile_path)
+            written.append(write_collapsed(
+                artifacts_dir / f"{spec.name}.collapsed", profile_doc))
+    return RunOutput(spec=spec, artifact=artifact,
+                     telemetry_doc=telemetry_doc, profile_doc=profile_doc,
+                     written=written)
+
+
+def update_results_json(name: str, figures,
+                        results_path: str | pathlib.Path) -> None:
+    """Mirror the pytest ``record_result`` fixture for standalone runs.
+
+    ``benchmarks/results.json`` is untracked scratch output; the
+    committed record is the ``BENCH_*.json`` baseline.
+    """
+    results_path = pathlib.Path(results_path)
+    results: dict = {}
+    if results_path.exists():
+        try:
+            results.update(json.loads(results_path.read_text()))
+        except json.JSONDecodeError:
+            pass
+    results[name] = figures
+    results_path.parent.mkdir(parents=True, exist_ok=True)
+    results_path.write_text(json.dumps(results, indent=2, sort_keys=True))
+
+
+def run_benches(specs: list[BenchSpec], *,
+                baseline_dir: str | pathlib.Path = DEFAULT_BASELINE_DIR,
+                artifacts_dir: str | pathlib.Path | None = None,
+                results_path: str | pathlib.Path | None =
+                DEFAULT_RESULTS_PATH,
+                profile: bool = True,
+                log=print) -> list[RunOutput]:
+    """Run every spec, writing ``BENCH_<name>.json`` baselines."""
+    outputs = []
+    for spec in specs:
+        log(f"running {spec.name} ({spec.title}) ...")
+        output = run_one(spec, profile=profile, artifacts_dir=artifacts_dir)
+        path = write_artifact(
+            artifact_path(baseline_dir, spec.name), output.artifact)
+        output.written.insert(0, path)
+        if results_path is not None:
+            update_results_json(spec.name, output.artifact["figures"],
+                                results_path)
+        log(f"  wrote {path} "
+            f"({len(output.artifact['metrics'])} metrics)")
+        outputs.append(output)
+    return outputs
+
+
+def check_benches(specs: list[BenchSpec], *,
+                  baseline_dir: str | pathlib.Path = DEFAULT_BASELINE_DIR,
+                  artifacts_dir: str | pathlib.Path | None = None,
+                  profile: bool = True,
+                  log=print) -> list[CompareResult]:
+    """Re-run every spec and gate it against its committed baseline.
+
+    A missing baseline is itself a gate failure — it means a benchmark
+    joined the gate set without `python -m repro.bench run` being
+    committed.
+    """
+    results = []
+    for spec in specs:
+        base_path = artifact_path(baseline_dir, spec.name)
+        if not base_path.exists():
+            result = CompareResult(name=spec.name, tolerance=spec.tolerance)
+            result.notes.append(
+                f"no committed baseline at {base_path}; generate one with "
+                f"`python -m repro.bench run {spec.name}`")
+            result.deltas.append(
+                __missing_baseline_delta(spec))
+            results.append(result)
+            continue
+        log(f"checking {spec.name} against {base_path} ...")
+        baseline = load_artifact(base_path)
+        output = run_one(spec, profile=profile, artifacts_dir=artifacts_dir)
+        results.append(compare_artifacts(baseline, output.artifact))
+    return results
+
+
+def __missing_baseline_delta(spec: BenchSpec):
+    from repro.bench.compare import MetricDelta
+    return MetricDelta(metric="<baseline>", baseline=None, current=None,
+                       tolerance=spec.tolerance)

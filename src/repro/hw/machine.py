@@ -94,6 +94,13 @@ class Machine:
         if want is None:
             want = sanitize_enabled()
         self.sanitizer = Sanitizer(self) if want else None
+        # When a process-wide telemetry sink is active (--telemetry-out,
+        # python -m repro.bench run), every machine registers itself so
+        # no workload needs per-call-site capture plumbing.
+        from repro.telemetry import sink as telemetry_sink
+        active = telemetry_sink.current()
+        if active is not None:
+            active.auto_register(self.telemetry)
 
     def reboot(self) -> None:
         """Power cycle: PCRs reset, caches/TLB cold, cycle counter keeps going."""

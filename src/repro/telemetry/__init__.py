@@ -5,7 +5,7 @@ See docs/OBSERVABILITY.md for the full API and file formats.
 """
 
 from repro.telemetry.core import (NULL_SPAN, Span, SpanRecord, Telemetry,
-                                  cycles_by_subsystem,
+                                  UnclosedSpanError, cycles_by_subsystem,
                                   subsystem_for_category)
 from repro.telemetry.metrics import (Counter, Gauge, Histogram,
                                      MetricsRegistry)
@@ -16,7 +16,7 @@ from repro.telemetry.export import (chrome_trace_document,
 from repro.telemetry.schema import SchemaError, validate_snapshot
 
 __all__ = [
-    "NULL_SPAN", "Span", "SpanRecord", "Telemetry",
+    "NULL_SPAN", "Span", "SpanRecord", "Telemetry", "UnclosedSpanError",
     "cycles_by_subsystem", "subsystem_for_category",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "chrome_trace_document", "machine_snapshot", "snapshot_document",

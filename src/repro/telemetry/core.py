@@ -76,9 +76,24 @@ def cycles_by_subsystem(breakdown: dict[str, int | float]
     return out
 
 
+class UnclosedSpanError(RuntimeError):
+    """A snapshot was exported while spans were still open.
+
+    An open span has not yet folded its cycles into its parent's
+    self-cycle accounting, so any profile or snapshot taken now would
+    silently misattribute cycles.  This is the runtime counterpart of
+    lint rule R004 (spans must be context-managed).
+    """
+
+
 @dataclass(slots=True)
 class SpanRecord:
-    """One completed span (feeds the Chrome trace exporter)."""
+    """One completed span (feeds the Chrome trace exporter).
+
+    ``path`` is the exact ancestor stack (root first, this span last) at
+    the moment the span opened — the profiler's collapsed-stack frames
+    come straight from it, no sampling or reconstruction involved.
+    """
 
     name: str
     labels: dict
@@ -89,6 +104,7 @@ class SpanRecord:
     dur_wall_ns: int
     depth: int
     error: bool
+    path: tuple[str, ...] = ()
 
 
 class _NullSpan:
@@ -116,7 +132,7 @@ class Span:
     """
 
     __slots__ = ("_telemetry", "name", "labels", "start_cycle",
-                 "_start_wall", "_child_cycles", "_depth")
+                 "_start_wall", "_child_cycles", "_depth", "_path")
 
     def __init__(self, telemetry: "Telemetry", name: str,
                  labels: dict) -> None:
@@ -128,6 +144,8 @@ class Span:
         tel = self._telemetry
         self._child_cycles = 0
         self._depth = len(tel._stack)
+        parent_path = tel._stack[-1]._path if tel._stack else ()
+        self._path = parent_path + (self.name,)
         tel._stack.append(self)
         self._start_wall = time.perf_counter_ns()
         self.start_cycle = int(tel.cycles.read())
@@ -161,7 +179,8 @@ class Span:
             name=self.name, labels=labels, start_cycle=self.start_cycle,
             dur_cycles=dur, self_cycles=self_cycles,
             start_wall_ns=self._start_wall, dur_wall_ns=dur_wall,
-            depth=self._depth, error=exc_type is not None))
+            depth=self._depth, error=exc_type is not None,
+            path=self._path))
         return False
 
 
@@ -205,6 +224,14 @@ class Telemetry:
         if not self.enabled:
             return NULL_SPAN
         return Span(self, name, labels)
+
+    def open_span_names(self) -> list[str]:
+        """Names of spans currently open, outermost first.
+
+        Exporters call this to refuse snapshotting mid-span (see
+        :class:`UnclosedSpanError`); it is always safe to call.
+        """
+        return [span.name for span in self._stack]
 
     def event(self, kind: str, detail="") -> None:
         """Record a raw event into the ring.

@@ -12,17 +12,46 @@ from __future__ import annotations
 
 import json
 import pathlib
+import warnings
 
-from repro.telemetry.core import Telemetry, cycles_by_subsystem
+from repro.telemetry.core import (Telemetry, UnclosedSpanError,
+                                  cycles_by_subsystem)
 
 SNAPSHOT_VERSION = 1
 SNAPSHOT_KIND = "hyperenclave-telemetry"
 
 
+def _guard_open_spans(telemetry: Telemetry, label: str,
+                      strict: bool) -> list[str]:
+    """Refuse (or warn about) exporting while spans are still open.
+
+    An open span has not yet attributed its cycles to its parent, so a
+    snapshot taken now would carry wrong self-cycle numbers — the
+    runtime counterpart of lint rule R004.
+    """
+    open_names = telemetry.open_span_names()
+    if open_names:
+        message = (f"telemetry export for {label!r} with "
+                   f"{len(open_names)} span(s) still open: "
+                   f"{' > '.join(open_names)}; self-cycle attribution "
+                   f"would be wrong (close every span before exporting)")
+        if strict:
+            raise UnclosedSpanError(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+    return open_names
+
+
 # -- JSON snapshot -----------------------------------------------------------
 
-def machine_snapshot(telemetry: Telemetry, label: str = "machine") -> dict:
-    """One machine's telemetry as a JSON-ready dict."""
+def machine_snapshot(telemetry: Telemetry, label: str = "machine", *,
+                     strict: bool = True) -> dict:
+    """One machine's telemetry as a JSON-ready dict.
+
+    Raises :class:`UnclosedSpanError` if any span is still open; pass
+    ``strict=False`` to downgrade to a ``RuntimeWarning`` naming the
+    open spans.
+    """
+    open_names = _guard_open_spans(telemetry, label, strict)
     breakdown = telemetry.cycles.breakdown()
     return {
         "label": label,
@@ -33,17 +62,20 @@ def machine_snapshot(telemetry: Telemetry, label: str = "machine") -> dict:
         },
         "metrics": telemetry.registry.snapshot(),
         "hardware": telemetry.hardware_stats(),
-        "spans": {"recorded": len(telemetry.spans)},
+        "spans": {"recorded": len(telemetry.spans),
+                  "open": len(open_names)},
     }
 
 
-def snapshot_document(items: list[tuple[str, Telemetry]]) -> dict:
+def snapshot_document(items: list[tuple[str, Telemetry]], *,
+                      strict: bool = True) -> dict:
     """The full snapshot: per-machine sections plus combined totals.
 
     ``combined.by_subsystem`` sums exactly to ``combined.total_cycles``
     because the category -> subsystem mapping is total.
     """
-    machines = [machine_snapshot(tel, label) for label, tel in items]
+    machines = [machine_snapshot(tel, label, strict=strict)
+                for label, tel in items]
     total = 0
     by_subsystem: dict[str, int | float] = {}
     for snap in machines:

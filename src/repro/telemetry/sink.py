@@ -1,0 +1,117 @@
+"""The process-wide telemetry sink: collect every machine a run creates.
+
+A :class:`TelemetrySink` tracks ``(label, Telemetry)`` pairs while it is
+active.  :class:`~repro.hw.machine.Machine` consults :func:`current` at
+construction time and registers its telemetry hub automatically, so *any*
+workload — a benchmark, a test, an app driver — captures every machine it
+touches without per-call-site plumbing.  Call sites that know a better
+name (the benchmark conftest labels machines by enclave mode) re-register
+the same hub and simply upgrade its label: registration is idempotent by
+telemetry identity.
+
+This is the backend behind ``--telemetry-out`` (see
+``benchmarks/telemetry_cli.py``) and ``python -m repro.bench run``.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.core import Telemetry
+from repro.telemetry.export import (snapshot_document, top_report,
+                                    write_telemetry)
+
+_ACTIVE: "TelemetrySink | None" = None
+
+
+class TelemetrySink:
+    """Collects the telemetry hubs of every machine a run creates."""
+
+    def __init__(self) -> None:
+        self._items: list[tuple[str, Telemetry]] = []
+        self._labels: set[str] = set()
+        self._index: dict[int, int] = {}    # id(telemetry) -> items index
+
+    def _dedupe(self, label: str) -> str:
+        base, n = label, 1
+        while label in self._labels:
+            n += 1
+            label = f"{base}-{n}"
+        self._labels.add(label)
+        return label
+
+    def register(self, label: str, telemetry: Telemetry) -> str:
+        """Track one machine's telemetry (enabling it).
+
+        Re-registering an already-tracked hub renames it (explicit
+        labels beat the auto-generated ``machine-N`` ones) instead of
+        duplicating the entry.  Returns the de-duplicated label used.
+        """
+        slot = self._index.get(id(telemetry))
+        if slot is not None:
+            old_label, _ = self._items[slot]
+            self._labels.discard(old_label)
+            label = self._dedupe(label)
+            self._items[slot] = (label, telemetry)
+            return label
+        label = self._dedupe(label)
+        telemetry.enable()
+        self._index[id(telemetry)] = len(self._items)
+        self._items.append((label, telemetry))
+        return label
+
+    def auto_register(self, telemetry: Telemetry) -> str:
+        """The machine-construction hook: register under ``machine-N``."""
+        return self.register(f"machine-{len(self._items) + 1}", telemetry)
+
+    @property
+    def items(self) -> list[tuple[str, Telemetry]]:
+        """The registered ``(label, telemetry)`` pairs, in creation order."""
+        return list(self._items)
+
+    def document(self, *, strict: bool = True) -> dict:
+        """The snapshot document for everything registered so far."""
+        return snapshot_document(self._items, strict=strict)
+
+    def write(self, snapshot_path) -> tuple:
+        """Write snapshot + Chrome trace; returns both paths."""
+        return write_telemetry(snapshot_path, self._items)
+
+    def report(self, n: int = 10) -> str:
+        """The plain-text top-N digest for this run."""
+        return top_report(self.document(), n)
+
+
+def activate(sink: TelemetrySink) -> None:
+    """Make ``sink`` the process-wide active sink."""
+    global _ACTIVE
+    _ACTIVE = sink
+
+
+def deactivate() -> None:
+    """Clear the active sink."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def current() -> TelemetrySink | None:
+    """The active sink, or None when telemetry capture is not requested."""
+    return _ACTIVE
+
+
+class capture:
+    """Context manager activating a fresh sink for the enclosed run::
+
+        with sink.capture() as s:
+            run_experiment()
+        document = s.document()
+    """
+
+    def __init__(self) -> None:
+        self.sink = TelemetrySink()
+
+    def __enter__(self) -> TelemetrySink:
+        activate(self.sink)
+        return self.sink
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        deactivate()
+        return False

@@ -1,0 +1,158 @@
+"""Unit tests for the bench artifact format, the gate comparison, and
+the registry — everything that runs without executing a benchmark."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import (ARTIFACT_KIND, ARTIFACT_VERSION, REGISTRY,
+                         BenchSpec, build_artifact, compare_artifacts,
+                         compare_report, costs_fingerprint, flatten_metrics,
+                         gate_specs, load_artifact, resolve,
+                         validate_artifact, write_artifact)
+from repro.bench.compare import MetricDelta
+
+FAKE = BenchSpec("fake", "a fake benchmark", "shape", tolerance=0.05)
+
+
+def fake_artifact(**figure_overrides) -> dict:
+    figures = {"latency": {"hu": 100.0, "gu": 200.0}, "ratio": [0.5, 1.0]}
+    figures.update(figure_overrides)
+    return build_artifact(FAKE, figures, None, None)
+
+
+class TestFlattenMetrics:
+    def test_numeric_leaves_by_dot_path(self):
+        flat = flatten_metrics({"a": {"b": 1, "c": [1.5, 2]}})
+        assert flat == {"a.b": 1.0, "a.c.0": 1.5, "a.c.1": 2.0}
+
+    def test_non_numeric_leaves_are_skipped(self):
+        flat = flatten_metrics({"s": "text", "flag": True, "none": None,
+                                "n": 3})
+        assert flat == {"n": 3.0}
+
+    def test_bare_number_gets_a_name(self):
+        assert flatten_metrics(7) == {"value": 7.0}
+
+
+class TestArtifact:
+    def test_build_produces_valid_artifact(self):
+        artifact = fake_artifact()
+        validate_artifact(artifact)
+        assert artifact["version"] == ARTIFACT_VERSION
+        assert artifact["kind"] == ARTIFACT_KIND
+        assert artifact["name"] == "fake"
+        assert artifact["metrics"]["latency.hu"] == 100.0
+        assert artifact["telemetry"] is None and artifact["profile"] is None
+        assert artifact["provenance"]["costs_fingerprint"]
+
+    def test_write_load_round_trip(self, tmp_path):
+        path = write_artifact(tmp_path / "BENCH_fake.json", fake_artifact())
+        assert load_artifact(path) == fake_artifact()
+
+    def test_validate_rejects_non_numeric_metrics(self):
+        artifact = fake_artifact()
+        artifact["metrics"]["bad"] = "oops"
+        with pytest.raises(ValueError, match="non-numeric"):
+            validate_artifact(artifact)
+
+    def test_validate_rejects_empty_metrics(self):
+        artifact = fake_artifact()
+        artifact["metrics"] = {}
+        with pytest.raises(ValueError, match="non-empty metrics"):
+            validate_artifact(artifact)
+
+    def test_dataclass_figures_are_jsonable(self):
+        @dataclasses.dataclass
+        class Point:
+            cycles: int
+
+        artifact = build_artifact(FAKE, {"pts": [Point(3)]}, None, None)
+        assert artifact["figures"]["pts"] == [{"cycles": 3}]
+        assert artifact["metrics"]["pts.0.cycles"] == 3.0
+
+    def test_costs_fingerprint_tracks_the_cost_model(self, monkeypatch):
+        from repro.hw import costs
+        before = costs_fingerprint()
+        assert before == costs_fingerprint()          # stable
+        monkeypatch.setattr(costs, "VMEXIT_CYCLES", costs.VMEXIT_CYCLES + 1)
+        assert costs_fingerprint() != before          # any constant counts
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self):
+        result = compare_artifacts(fake_artifact(), fake_artifact())
+        assert result.ok
+        assert not result.notes
+        assert "gate passed" in compare_report([result])
+
+    def test_drift_outside_band_fails(self):
+        base = fake_artifact()
+        cur = fake_artifact(latency={"hu": 107.0, "gu": 200.0})  # +7% > 5%
+        result = compare_artifacts(base, cur)
+        assert not result.ok
+        (failure,) = result.failures
+        assert failure.metric == "latency.hu"
+        assert failure.status == "regressed"
+        assert failure.rel_change == pytest.approx(0.07)
+        assert "GATE FAILED" in compare_report([result])
+
+    def test_drift_inside_band_passes(self):
+        cur = fake_artifact(latency={"hu": 104.0, "gu": 200.0})  # +4% < 5%
+        assert compare_artifacts(fake_artifact(), cur).ok
+
+    def test_zero_tolerance_trips_on_one_cycle(self):
+        base, cur = fake_artifact(), fake_artifact(ratio=[0.5, 1.0 + 1e-6])
+        assert compare_artifacts(base, cur, tolerance=0.0).ok is False
+        assert compare_artifacts(base, cur).ok                # 5% band
+
+    def test_missing_and_new_metrics_both_fail(self):
+        base = fake_artifact()
+        cur = fake_artifact()
+        del cur["metrics"]["ratio.0"]
+        cur["metrics"]["brand.new"] = 1.0
+        result = compare_artifacts(base, cur)
+        statuses = {d.metric: d.status for d in result.failures}
+        assert statuses == {"ratio.0": "missing", "brand.new": "new"}
+
+    def test_cost_model_change_is_noted(self):
+        base = fake_artifact()
+        cur = fake_artifact()
+        cur["provenance"]["costs_fingerprint"] = "deadbeefdeadbeef"
+        result = compare_artifacts(base, cur)
+        assert result.ok                      # informational, not gating
+        assert any("cost model changed" in note for note in result.notes)
+
+    def test_near_zero_baseline_uses_absolute_floor(self):
+        delta = MetricDelta("m", baseline=0.0, current=5e-10, tolerance=0.01)
+        assert delta.status == "ok"
+        delta = MetricDelta("m", baseline=0.0, current=1e-6, tolerance=0.01)
+        assert delta.status == "regressed"
+
+
+class TestRegistry:
+    def test_gate_set_is_the_acceptance_list(self):
+        assert [spec.name for spec in gate_specs()] == \
+            ["table1_edge_calls", "table2_exceptions", "fig7_marshalling",
+             "fig11_memenc"]
+
+    def test_exact_benches_have_zero_tolerance(self):
+        for name in ("table1_edge_calls", "table2_exceptions"):
+            assert REGISTRY[name].kind == "exact"
+            assert REGISTRY[name].tolerance == 0.0
+
+    def test_every_spec_maps_to_a_bench_module(self):
+        import importlib
+        import importlib.util
+        for spec in REGISTRY.values():
+            assert importlib.util.find_spec(spec.module_name) is not None
+
+    def test_resolve_accepts_bench_prefix_and_defaults_to_gate(self):
+        assert resolve([]) == gate_specs()
+        (spec,) = resolve(["bench_fig7_marshalling"])
+        assert spec.name == "fig7_marshalling"
+        assert len(resolve([], all_benches=True)) == len(REGISTRY)
+
+    def test_resolve_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            resolve(["no_such_bench"])

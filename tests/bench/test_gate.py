@@ -1,0 +1,172 @@
+"""End-to-end tests for the bench harness and regression gate.
+
+The load-bearing one is the *injection* test: inflating the hypercall
+world-switch cost (VMEXIT/VMENTRY steps) by 10% must trip the gate
+against a baseline recorded with the calibrated model — the exact
+failure mode ``python -m repro.bench check`` exists to catch in CI.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import load_artifact, validate_artifact
+from repro.bench.cli import main as bench_main
+from repro.bench.registry import REGISTRY
+from repro.bench.runner import (DEFAULT_BASELINE_DIR, check_benches,
+                                run_benches)
+from repro.hw import costs
+from repro.hw.costs import WorldSwitchCosts
+from repro.profiler import parse_collapsed
+
+TABLE1 = REGISTRY["table1_edge_calls"]
+TABLE2 = REGISTRY["table2_exceptions"]
+GATE_SET = ("table1_edge_calls", "table2_exceptions", "fig7_marshalling",
+            "fig11_memenc")
+
+
+@pytest.fixture(scope="module")
+def table1_run(tmp_path_factory):
+    """One real Table 1 run: baseline + side artifacts in temp dirs."""
+    baseline_dir = tmp_path_factory.mktemp("baselines")
+    artifacts_dir = tmp_path_factory.mktemp("artifacts")
+    (output,) = run_benches([TABLE1], baseline_dir=baseline_dir,
+                            artifacts_dir=artifacts_dir, results_path=None,
+                            log=lambda *_: None)
+    return baseline_dir, artifacts_dir, output
+
+
+def _inflated_switch_costs(factor: float) -> dict:
+    """The cost model with the hypercall trap/return steps scaled."""
+    def scale(steps):
+        return [(name, round(cost * factor))
+                if name in ("vmexit", "vmentry") else (name, cost)
+                for name, cost in steps]
+    return {mode: WorldSwitchCosts(eenter=scale(sw.eenter),
+                                   eexit=scale(sw.eexit))
+            for mode, sw in costs.SWITCH_COSTS.items()}
+
+
+class TestRunOne:
+    def test_artifact_records_calibrated_ecall_cycles(self, table1_run):
+        _, _, output = table1_run
+        figures = output.artifact["figures"]
+        for label, mode in (("HU-Enclave", "hu"), ("GU-Enclave", "gu"),
+                            ("P-Enclave", "p"), ("Intel SGX", "sgx")):
+            assert figures[label]["ecall"] == costs.ecall_expected(mode)
+        assert output.artifact["metrics"]["HU-Enclave.ecall"] == 8440.0
+
+    def test_artifact_carries_telemetry_and_profile(self, table1_run):
+        _, _, output = table1_run
+        artifact = output.artifact
+        validate_artifact(artifact)
+        assert artifact["telemetry"]["machines"] >= 4   # one per mode
+        assert artifact["metrics"]["telemetry.total_cycles"] > 0
+        assert artifact["metrics"]["profile.total_span_cycles"] > 0
+        assert artifact["profile"]["top_self"]
+
+    def test_side_artifacts_are_loadable(self, table1_run):
+        _, artifacts_dir, output = table1_run
+        snapshot = json.loads(
+            (artifacts_dir / "table1_edge_calls.telemetry.json").read_text())
+        assert snapshot["machines"]
+        trace = json.loads((artifacts_dir /
+                            "table1_edge_calls.telemetry.trace.json")
+                           .read_text())
+        assert trace["traceEvents"]
+        collapsed = parse_collapsed(
+            (artifacts_dir / "table1_edge_calls.collapsed").read_text())
+        assert sum(collapsed.values()) == \
+            output.profile_doc["combined"]["total_span_cycles"]
+
+
+class TestGate:
+    def test_rerun_reproduces_the_baseline_exactly(self, table1_run):
+        baseline_dir, _, _ = table1_run
+        (result,) = check_benches([TABLE1], baseline_dir=baseline_dir,
+                                  log=lambda *_: None)
+        assert result.ok, [d.metric for d in result.failures]
+        # Zero tolerance really was in force: deterministic to the cycle.
+        assert result.tolerance == 0.0
+
+    def test_injected_hypercall_cost_regression_is_caught(
+            self, table1_run, monkeypatch):
+        baseline_dir, _, _ = table1_run
+        monkeypatch.setattr(costs, "SWITCH_COSTS",
+                            _inflated_switch_costs(1.1))
+        (result,) = check_benches([TABLE1], baseline_dir=baseline_dir,
+                                  log=lambda *_: None)
+        assert not result.ok
+        regressed = {d.metric for d in result.failures
+                     if d.status == "regressed"}
+        # Every mode that traps through the monitor pays the injected
+        # cost; the fingerprint note flags the cost model too.
+        assert "HU-Enclave.ecall" in regressed
+        assert "GU-Enclave.ecall" in regressed
+        assert "P-Enclave.ecall" in regressed
+        assert any("cost model changed" in note for note in result.notes)
+
+    def test_cli_check_exits_nonzero_on_injection(self, table1_run,
+                                                  monkeypatch, capsys):
+        baseline_dir, _, _ = table1_run
+        monkeypatch.setattr(costs, "SWITCH_COSTS",
+                            _inflated_switch_costs(1.1))
+        code = bench_main(["check", "table1_edge_calls",
+                           "--baseline-dir", str(baseline_dir)])
+        assert code == 1
+        assert "GATE FAILED" in capsys.readouterr().out
+
+    def test_missing_baseline_fails_the_gate(self, tmp_path):
+        (result,) = check_benches([TABLE1], baseline_dir=tmp_path,
+                                  log=lambda *_: None)
+        assert not result.ok
+        assert any("no committed baseline" in note for note in result.notes)
+
+
+class TestCommittedBaselines:
+    def test_gate_set_baselines_are_committed_and_valid(self):
+        for name in GATE_SET:
+            path = DEFAULT_BASELINE_DIR / f"BENCH_{name}.json"
+            assert path.exists(), f"run `python -m repro.bench run` for {name}"
+            artifact = load_artifact(path)
+            assert artifact["name"] == name
+            assert artifact["tolerance"] == REGISTRY[name].tolerance
+
+    def test_committed_table_baselines_pin_paper_values(self):
+        table1 = load_artifact(
+            DEFAULT_BASELINE_DIR / "BENCH_table1_edge_calls.json")
+        assert table1["metrics"]["HU-Enclave.ecall"] == 8440.0
+        assert table1["metrics"]["Intel SGX.ecall"] == 14432.0
+        table2 = load_artifact(
+            DEFAULT_BASELINE_DIR / "BENCH_table2_exceptions.json")
+        assert table2["metrics"]["P-Enclave.ud"] == 258.0
+        assert table2["metrics"]["Intel SGX.ud"] == 28561.0
+
+
+class TestCli:
+    def test_run_then_check_round_trip(self, tmp_path, capsys):
+        baseline_dir = tmp_path / "baselines"
+        artifacts_dir = tmp_path / "artifacts"
+        assert bench_main(["run", "table2_exceptions", "--no-results",
+                           "--baseline-dir", str(baseline_dir),
+                           "--artifacts", str(artifacts_dir)]) == 0
+        baseline = baseline_dir / "BENCH_table2_exceptions.json"
+        assert baseline.exists()
+        assert (artifacts_dir / "table2_exceptions.collapsed").exists()
+        assert bench_main(["check", "table2_exceptions",
+                           "--baseline-dir", str(baseline_dir)]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_diff_flags_a_perturbed_artifact(self, tmp_path, capsys):
+        base = DEFAULT_BASELINE_DIR / "BENCH_table2_exceptions.json"
+        perturbed = load_artifact(base)
+        perturbed["metrics"]["P-Enclave.ud"] += 26.0       # ~10%
+        cur = tmp_path / "BENCH_table2_exceptions.json"
+        cur.write_text(json.dumps(perturbed))
+        assert bench_main(["diff", str(base), str(base)]) == 0
+        assert bench_main(["diff", str(base), str(cur)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_unknown_bench_is_a_usage_error(self, capsys):
+        assert bench_main(["run", "no_such_bench", "--no-results"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err

@@ -132,8 +132,14 @@ def provenance() -> dict:
 # -- artifact assembly -------------------------------------------------------
 
 def build_artifact(spec, figures, telemetry_doc: dict | None,
-                   profile_doc: dict | None) -> dict:
-    """Assemble one ``BENCH_<name>.json`` document."""
+                   profile_doc: dict | None,
+                   fingerprints: dict[str, str] | None = None) -> dict:
+    """Assemble one ``BENCH_<name>.json`` document.
+
+    ``fingerprints`` maps machine labels to ``Machine.state_hash()``
+    values; the gate compares them with *exact equality* (no tolerance
+    band), turning the bench gate into a cross-run determinism gate.
+    """
     from repro.profiler import profile_summary
 
     figures = _jsonable(figures)
@@ -167,6 +173,7 @@ def build_artifact(spec, figures, telemetry_doc: dict | None,
         "provenance": provenance(),
         "figures": figures,
         "metrics": metrics,
+        "fingerprints": dict(fingerprints) if fingerprints else {},
         "telemetry": telemetry_digest,
         "profile": profile_digest,
     }
@@ -191,6 +198,13 @@ def validate_artifact(document) -> None:
     for key, value in metrics.items():
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             raise ValueError(f"artifact: non-numeric metric {key!r}")
+    fingerprints = document.get("fingerprints", {})
+    if not isinstance(fingerprints, dict):
+        raise ValueError("artifact: fingerprints must be an object")
+    for key, value in fingerprints.items():
+        if not isinstance(value, str):
+            raise ValueError(
+                f"artifact: non-string fingerprint {key!r}")
 
 
 def write_artifact(path: str | pathlib.Path, document: dict

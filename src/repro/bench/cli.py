@@ -35,6 +35,11 @@ def _add_selection(parser) -> None:
                              "+ profile + collapsed stacks here")
     parser.add_argument("--no-profile", action="store_true",
                         help="skip building cycle profiles")
+    parser.add_argument("--record", default=None, metavar="DIR",
+                        dest="record_dir",
+                        help="record each run's flight-recorder journal "
+                             "here (replayable with `python -m "
+                             "repro.flightrec replay`)")
 
 
 def _cmd_list(args) -> int:
@@ -52,7 +57,8 @@ def _cmd_run(args) -> int:
     run_benches(specs, baseline_dir=args.baseline_dir,
                 artifacts_dir=args.artifacts,
                 results_path=results_path,
-                profile=not args.no_profile)
+                profile=not args.no_profile,
+                record_dir=args.record_dir)
     print(f"wrote {len(specs)} baseline artifact(s) to "
           f"{args.baseline_dir}")
     return 0
@@ -62,7 +68,8 @@ def _cmd_check(args) -> int:
     specs = resolve(args.benchmarks, all_benches=args.all_benches)
     results = check_benches(specs, baseline_dir=args.baseline_dir,
                             artifacts_dir=args.artifacts,
-                            profile=not args.no_profile)
+                            profile=not args.no_profile,
+                            record_dir=args.record_dir)
     if args.json:
         print(json.dumps([r.as_dict() for r in results], indent=2))
     else:

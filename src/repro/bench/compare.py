@@ -45,6 +45,35 @@ class MetricDelta:
 
 
 @dataclass
+class FingerprintDelta:
+    """One compared state fingerprint: exact string equality, no band.
+
+    A machine's ``state_hash()`` either reproduces bit-identically or
+    the run is nondeterministic — there is no "close enough" for a
+    determinism gate.
+    """
+
+    metric: str
+    baseline: str | None
+    current: str | None
+    tolerance: float = 0.0
+
+    @property
+    def status(self) -> str:
+        if self.baseline is None:
+            return "new"
+        if self.current is None:
+            return "missing"
+        if self.baseline == self.current:
+            return "ok"
+        return "regressed"
+
+    @property
+    def rel_change(self) -> None:
+        return None
+
+
+@dataclass
 class CompareResult:
     """The gate verdict for one benchmark."""
 
@@ -98,12 +127,26 @@ def compare_artifacts(baseline: dict, current: dict,
             baseline=base_metrics.get(metric),
             current=cur_metrics.get(metric),
             tolerance=tolerance))
+
+    # State fingerprints gate on exact equality (determinism check).
+    # Baselines that predate the fingerprints field skip the check —
+    # regenerating them opts in.
+    base_fps: dict = baseline.get("fingerprints") or {}
+    cur_fps: dict = current.get("fingerprints") or {}
+    if base_fps:
+        for label in sorted(set(base_fps) | set(cur_fps)):
+            result.deltas.append(FingerprintDelta(
+                metric=f"state_hash.{label}",
+                baseline=base_fps.get(label),
+                current=cur_fps.get(label)))
     return result
 
 
-def _fmt(value: float | None) -> str:
+def _fmt(value: float | str | None) -> str:
     if value is None:
         return "-"
+    if isinstance(value, str):                 # state-hash fingerprints
+        return value[:16] + "…" if len(value) > 16 else value
     if value == int(value) and abs(value) < 1e15:
         return f"{int(value):,}"
     return f"{value:.6g}"

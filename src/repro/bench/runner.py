@@ -50,25 +50,53 @@ class RunOutput:
 
 
 def run_one(spec: BenchSpec, *, profile: bool = True,
-            artifacts_dir: str | pathlib.Path | None = None) -> RunOutput:
+            artifacts_dir: str | pathlib.Path | None = None,
+            record_dir: str | pathlib.Path | None = None) -> RunOutput:
     """Run one benchmark under a fresh telemetry sink; build its artifact.
 
     When ``artifacts_dir`` is given, the side artifacts land there:
     ``<name>.telemetry.json`` + ``<name>.telemetry.trace.json`` (snapshot
     and Chrome trace), ``<name>.profile.json`` (full profile document)
     and ``<name>.collapsed`` (flamegraph-ready stacks).
+
+    When ``record_dir`` is given, a flight recorder is active for the
+    run and its journal lands at ``<record_dir>/<name>.journal.json`` —
+    replayable with ``python -m repro.flightrec replay``.  Recording is
+    a pure observer, so the artifact's figures are unchanged.
     """
+    from repro.flightrec import forensics
+    from repro.flightrec import recorder as flightrec_recorder
     from repro.profiler import profile_document, write_collapsed
     from repro.telemetry import sink as telemetry_sink
 
     _ensure_benchmarks_importable()
+    rec = None
+    journal_path = None
     with telemetry_sink.capture() as sink:
-        figures = spec.run()
+        if record_dir is not None:
+            rec = flightrec_recorder.FlightRecorder(f"bench:{spec.name}")
+            flightrec_recorder.activate(rec)
+        try:
+            figures = spec.run()
+        except Exception as exc:
+            # A crashed benchmark still leaves evidence: one forensic
+            # bundle per machine (when enabled) before propagating.
+            for label, machine in sink.machines():
+                forensics.emit_for_machine(machine, exc, label=label)
+            raise
+        finally:
+            if rec is not None:
+                flightrec_recorder.deactivate()
+        fingerprints = sink.state_fingerprints()
+    if rec is not None:
+        journal_path = rec.finish(figures).write(
+            pathlib.Path(record_dir) / f"{spec.name}.journal.json")
 
     telemetry_doc = sink.document() if sink.items else None
     profile_doc = profile_document(sink.items) \
         if profile and sink.items else None
-    artifact = build_artifact(spec, figures, telemetry_doc, profile_doc)
+    artifact = build_artifact(spec, figures, telemetry_doc, profile_doc,
+                              fingerprints)
 
     written: list[pathlib.Path] = []
     if artifacts_dir is not None:
@@ -84,6 +112,8 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
             written.append(profile_path)
             written.append(write_collapsed(
                 artifacts_dir / f"{spec.name}.collapsed", profile_doc))
+    if journal_path is not None:
+        written.append(journal_path)
     return RunOutput(spec=spec, artifact=artifact,
                      telemetry_doc=telemetry_doc, profile_doc=profile_doc,
                      written=written)
@@ -114,12 +144,14 @@ def run_benches(specs: list[BenchSpec], *,
                 results_path: str | pathlib.Path | None =
                 DEFAULT_RESULTS_PATH,
                 profile: bool = True,
+                record_dir: str | pathlib.Path | None = None,
                 log=print) -> list[RunOutput]:
     """Run every spec, writing ``BENCH_<name>.json`` baselines."""
     outputs = []
     for spec in specs:
         log(f"running {spec.name} ({spec.title}) ...")
-        output = run_one(spec, profile=profile, artifacts_dir=artifacts_dir)
+        output = run_one(spec, profile=profile, artifacts_dir=artifacts_dir,
+                         record_dir=record_dir)
         path = write_artifact(
             artifact_path(baseline_dir, spec.name), output.artifact)
         output.written.insert(0, path)
@@ -136,6 +168,7 @@ def check_benches(specs: list[BenchSpec], *,
                   baseline_dir: str | pathlib.Path = DEFAULT_BASELINE_DIR,
                   artifacts_dir: str | pathlib.Path | None = None,
                   profile: bool = True,
+                  record_dir: str | pathlib.Path | None = None,
                   log=print) -> list[CompareResult]:
     """Re-run every spec and gate it against its committed baseline.
 
@@ -157,7 +190,8 @@ def check_benches(specs: list[BenchSpec], *,
             continue
         log(f"checking {spec.name} against {base_path} ...")
         baseline = load_artifact(base_path)
-        output = run_one(spec, profile=profile, artifacts_dir=artifacts_dir)
+        output = run_one(spec, profile=profile, artifacts_dir=artifacts_dir,
+                         record_dir=record_dir)
         results.append(compare_artifacts(baseline, output.artifact))
     return results
 

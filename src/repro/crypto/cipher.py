@@ -84,6 +84,14 @@ class Drbg:
         self._state = sha256(b"drbg-ratchet", self._state)
         return out[:n]
 
+    def position(self) -> str:
+        """A fingerprint of the generator position (state + counter).
+
+        Two Drbg instances with equal positions will produce identical
+        future output — the property machine state hashing needs.
+        """
+        return sha256(self._state, struct.pack("<Q", self._counter)).hex()
+
     def randint_bits(self, bits: int) -> int:
         """A random integer with exactly ``bits`` bits (MSB set)."""
         if bits < 2:

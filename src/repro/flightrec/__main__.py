@@ -1,0 +1,6 @@
+"""``python -m repro.flightrec`` — flight-recorder CLI entry point."""
+
+from repro.flightrec.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

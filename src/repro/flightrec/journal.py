@@ -1,0 +1,187 @@
+"""The journal: an append-only record of one run.
+
+A journal has a **header** (everything needed to re-execute the run:
+scenario id and args, machine configs including the TPM seed, the cost
+model fingerprint), a stream of **events** (a lossless superset of the
+trace ring: every event the ring ever saw, wrap-around or not), and
+periodic **checkpoints** — ``Machine.state_hash()`` values linked into a
+hash chain.  Checkpoint *k*'s chain value commits to every checkpoint
+before it, so two runs whose chains agree at *k* agreed on everything up
+to *k*; that is what lets replay binary-search for the first divergence
+instead of scanning linearly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.hw import statehash
+
+JOURNAL_VERSION = 1
+JOURNAL_KIND = "hyperenclave-flightrec"
+
+
+class JournalError(ValueError):
+    """A malformed or internally-inconsistent journal."""
+
+
+class JournalEvent:
+    """One journaled trace event (compact list encoding in JSON)."""
+
+    __slots__ = ("machine", "seq", "cycle", "kind", "detail", "cause")
+
+    def __init__(self, machine: int, seq: int, cycle: int, kind: str,
+                 detail: str, cause: str) -> None:
+        self.machine = machine
+        self.seq = seq
+        self.cycle = cycle
+        self.kind = kind
+        self.detail = detail
+        self.cause = cause
+
+    def as_list(self) -> list:
+        return [self.machine, self.seq, self.cycle, self.kind,
+                self.detail, self.cause]
+
+    @classmethod
+    def from_list(cls, raw) -> "JournalEvent":
+        if not isinstance(raw, list) or len(raw) != 6:
+            raise JournalError(f"malformed event record: {raw!r}")
+        return cls(*raw)
+
+    def key(self) -> tuple:
+        """What replay compares: everything but the machine slot index."""
+        return (self.seq, self.cycle, self.kind, self.detail, self.cause)
+
+    def __str__(self) -> str:
+        tail = f"  <{self.cause}>" if self.cause else ""
+        return (f"m{self.machine} #{self.seq:<6} [{self.cycle:>14,}] "
+                f"{self.kind:<12} {self.detail}{tail}")
+
+
+class Checkpoint:
+    """One hash-chained machine checkpoint."""
+
+    __slots__ = ("machine", "seq", "cycle", "state_hash", "chain")
+
+    def __init__(self, machine: int, seq: int, cycle: int,
+                 state_hash: str, chain: str) -> None:
+        self.machine = machine
+        self.seq = seq
+        self.cycle = cycle
+        self.state_hash = state_hash
+        self.chain = chain
+
+    def as_list(self) -> list:
+        return [self.machine, self.seq, self.cycle, self.state_hash,
+                self.chain]
+
+    @classmethod
+    def from_list(cls, raw) -> "Checkpoint":
+        if not isinstance(raw, list) or len(raw) != 5:
+            raise JournalError(f"malformed checkpoint record: {raw!r}")
+        return cls(*raw)
+
+    def __str__(self) -> str:
+        return (f"m{self.machine} @#{self.seq} [{self.cycle:>14,}] "
+                f"state={self.state_hash[:16]}… chain={self.chain[:16]}…")
+
+
+class Journal:
+    """An in-memory journal, JSON round-trippable."""
+
+    def __init__(self, header: dict) -> None:
+        self.header = header
+        self.events: list[JournalEvent] = []
+        self.checkpoints: list[Checkpoint] = []
+        self.summary: dict = {}
+        self._chain = self.seed_chain(header)
+
+    # The chain seed commits only to the immutable part of the header:
+    # the machines list grows *during* recording (machines attach as the
+    # scenario constructs them), and a seed over a mutating header could
+    # never be recomputed on load.
+    _CHAIN_KEYS = ("scenario", "args", "checkpoint_every")
+
+    @staticmethod
+    def seed_chain(header: dict) -> str:
+        """The chain seed commits to the run identity (scenario+args)."""
+        return statehash.digest(
+            {k: header.get(k) for k in Journal._CHAIN_KEYS})
+
+    # ------------------------------------------------------------ appends --
+
+    def add_event(self, event: JournalEvent) -> None:
+        self.events.append(event)
+
+    def add_checkpoint(self, machine: int, seq: int, cycle: int,
+                       state_hash: str) -> Checkpoint:
+        self._chain = statehash.chain(self._chain, state_hash, seq, cycle)
+        cp = Checkpoint(machine, seq, cycle, state_hash, self._chain)
+        self.checkpoints.append(cp)
+        return cp
+
+    # ---------------------------------------------------------------- I/O --
+
+    def as_document(self) -> dict:
+        return {
+            "version": JOURNAL_VERSION,
+            "kind": JOURNAL_KIND,
+            "header": self.header,
+            "events": [e.as_list() for e in self.events],
+            "checkpoints": [c.as_list() for c in self.checkpoints],
+            "summary": self.summary,
+        }
+
+    def write(self, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_document()) + "\n")
+        return path
+
+    @classmethod
+    def from_document(cls, document) -> "Journal":
+        if not isinstance(document, dict):
+            raise JournalError("journal: expected an object")
+        if document.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"journal: unsupported version {document.get('version')!r}")
+        if document.get("kind") != JOURNAL_KIND:
+            raise JournalError(
+                f"journal: unexpected kind {document.get('kind')!r}")
+        header = document.get("header")
+        if not isinstance(header, dict) or "scenario" not in header:
+            raise JournalError("journal: missing header.scenario")
+        journal = cls(header)
+        for raw in document.get("events", []):
+            journal.events.append(JournalEvent.from_list(raw))
+        for raw in document.get("checkpoints", []):
+            journal.checkpoints.append(Checkpoint.from_list(raw))
+        journal.summary = document.get("summary", {})
+        journal.verify_chain()
+        return journal
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Journal":
+        return cls.from_document(json.loads(pathlib.Path(path).read_text()))
+
+    # --------------------------------------------------------- validation --
+
+    def verify_chain(self) -> None:
+        """Recompute the hash chain; raise on tampering or truncation."""
+        chain = self.seed_chain(self.header)
+        for i, cp in enumerate(self.checkpoints):
+            chain = statehash.chain(chain, cp.state_hash, cp.seq, cp.cycle)
+            if chain != cp.chain:
+                raise JournalError(
+                    f"journal: checkpoint {i} breaks the hash chain "
+                    f"(expected {chain[:16]}…, found {cp.chain[:16]}…)")
+        self._chain = chain
+
+    def events_between(self, lo_seq: int, hi_seq: int,
+                       machine: int | None = None) -> list[JournalEvent]:
+        """Events with ``lo_seq <= seq <= hi_seq`` (one machine slot)."""
+        return [e for e in self.events
+                if lo_seq <= e.seq <= hi_seq
+                and (machine is None or e.machine == machine)]

@@ -1,0 +1,80 @@
+"""Scenario resolution: what a journal re-executes.
+
+A journal header names its scenario by id so replay can re-run the exact
+workload:
+
+* ``bench:<name>`` — a benchmark from the ``repro.bench`` registry
+  (``run_experiment()`` of ``benchmarks/bench_<name>.py``);
+* anything else — a scenario registered programmatically with
+  :func:`register` (tests use this to record custom workloads).
+
+Scenario functions take one ``args`` dict and return their figures; the
+machines they build attach to the active recorder automatically, so a
+scenario needs no recorder plumbing of its own.
+"""
+
+from __future__ import annotations
+
+from repro.flightrec import forensics
+from repro.flightrec.journal import Journal
+from repro.flightrec.recorder import (DEFAULT_CHECKPOINT_EVERY,
+                                      FlightRecorder, record)
+
+_SCENARIOS: dict[str, object] = {}
+
+
+class ScenarioError(ValueError):
+    """An unknown or unrunnable scenario id."""
+
+
+def register(name: str, fn) -> None:
+    """Register a programmatic scenario (``fn(args) -> figures``)."""
+    _SCENARIOS[name] = fn
+
+
+def unregister(name: str) -> None:
+    """Remove a programmatic scenario; unknown names are a no-op."""
+    _SCENARIOS.pop(name, None)
+
+
+def scenario_ids() -> list[str]:
+    """Every runnable scenario id (bench ones first)."""
+    from repro.bench.registry import REGISTRY
+    return ([f"bench:{name}" for name in REGISTRY]
+            + sorted(_SCENARIOS))
+
+
+def resolve(scenario: str):
+    """The callable for one scenario id."""
+    if scenario.startswith("bench:"):
+        bench = scenario[len("bench:"):]
+        from repro.bench.registry import REGISTRY
+        from repro.bench.runner import _ensure_benchmarks_importable
+        spec = REGISTRY.get(bench)
+        if spec is None:
+            raise ScenarioError(f"unknown benchmark scenario {bench!r}")
+        _ensure_benchmarks_importable()
+        return lambda args: spec.run()
+    fn = _SCENARIOS.get(scenario)
+    if fn is None:
+        raise ScenarioError(f"unknown scenario {scenario!r}")
+    return fn
+
+
+def run_recorded(scenario: str, args: dict | None = None, *,
+                 checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                 ) -> tuple[Journal, object]:
+    """Run one scenario under a fresh recorder; returns (journal, figures).
+
+    On an unhandled exception a forensic bundle is written for every
+    attached machine (honoring ``REPRO_FORENSICS_DIR``) before the
+    exception propagates — a crashed recording still leaves evidence.
+    """
+    fn = resolve(scenario)
+    with record(scenario, args, checkpoint_every=checkpoint_every) as rec:
+        try:
+            figures = fn(dict(args or {}))
+        except Exception as exc:
+            forensics.emit_for_recorder(rec, exc)
+            raise
+    return rec.finish(figures), figures

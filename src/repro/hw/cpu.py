@@ -84,6 +84,22 @@ class Cpu:
             total += cyc
         return total
 
+    def state_digest(self) -> str:
+        """A canonical hash of the CPU context (for Machine.state_hash)."""
+        from repro.hw import statehash
+        current = None
+        if self.current is not None:
+            c = self.current
+            current = {
+                "name": c.name, "mode": c.mode, "gpt_root": c.gpt_root,
+                "npt_root": c.npt_root, "host_pt_root": c.host_pt_root,
+                "asid": c.asid, "regs": c.regs,
+            }
+        return statehash.digest({
+            "mode": self.mode, "next_asid": self._next_asid,
+            "current": current,
+        })
+
     def require_mode(self, *modes: CpuMode) -> None:
         """Guard: the executing context must be in one of ``modes``."""
         if self.mode not in modes:

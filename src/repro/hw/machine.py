@@ -82,10 +82,17 @@ class Machine:
         self.trace = self.telemetry.ring
         self.telemetry.add_collector("tlb", self.tlb.stats)
         self.telemetry.add_collector("llc", self.llc.stats)
+        self.telemetry.add_collector("trace", self.trace.stats)
         self.telemetry.add_collector(
             "encryption",
             lambda: {"engine": self.encryption.name,
                      **self.encryption.stats()})
+        # Software layers (monitor, kernel) register state providers so
+        # Machine.state_hash() folds their state too; dump providers give
+        # the forensic bundles their one-shot deep dumps (page-table
+        # walks are too expensive for per-checkpoint hashing).
+        self.state_providers: dict[str, object] = {}
+        self.dump_providers: dict[str, object] = {}
         # Attach the monitor-invariant sanitizer last, so its hooks see a
         # fully assembled machine.  Imported here: repro.sanitizer sits
         # above the hardware layer.
@@ -100,7 +107,62 @@ class Machine:
         from repro.telemetry import sink as telemetry_sink
         active = telemetry_sink.current()
         if active is not None:
-            active.auto_register(self.telemetry)
+            active.auto_register(self.telemetry, machine=self)
+        # Likewise for an active flight recorder (python -m repro.flightrec
+        # record / replay): the machine journals itself on construction.
+        from repro.flightrec import recorder as flightrec_recorder
+        rec = flightrec_recorder.current()
+        if rec is not None:
+            rec.attach_machine(self)
+
+    # -- state hashing -------------------------------------------------------
+
+    def state_fingerprint(self) -> dict[str, str]:
+        """Per-component state digests (the expanded form of state_hash).
+
+        Folds the hardware (cycles, CPU context, physical-frame ownership
+        and contents, TLB, TPM) plus whatever software layers registered
+        via ``state_providers`` (monitor: enclaves, EPC, swap; kernel:
+        processes, VMAs).  Comparing fingerprints names the component
+        that diverged; comparing :meth:`state_hash` is one string.
+        """
+        from repro.hw import statehash
+        parts = {
+            "cycles": statehash.digest(self.cycles.total),
+            "cpu": self.cpu.state_digest(),
+            "phys": self.phys.state_digest(),
+            "tlb": self.tlb.state_digest(),
+            "tpm": self.tpm.state_digest(),
+        }
+        for name, provider in self.state_providers.items():
+            parts[name] = statehash.digest(provider())
+        return parts
+
+    def state_hash(self) -> str:
+        """One deterministic hash of the whole machine state."""
+        from repro.hw import statehash
+        return statehash.fold(self.state_fingerprint())
+
+    def state_dump(self) -> dict:
+        """Deep, human-readable state for forensic bundles (expensive)."""
+        dump = {
+            "cpu": {
+                "mode": self.cpu.mode.value,
+                "context": None if self.cpu.current is None else {
+                    "name": self.cpu.current.name,
+                    "mode": self.cpu.current.mode.value,
+                    "gpt_root": self.cpu.current.gpt_root,
+                    "npt_root": self.cpu.current.npt_root,
+                    "host_pt_root": self.cpu.current.host_pt_root,
+                    "asid": self.cpu.current.asid,
+                    "regs": self.cpu.current.snapshot(),
+                },
+            },
+            "tlb": self.tlb.entries_dump(),
+        }
+        for name, provider in self.dump_providers.items():
+            dump[name] = provider()
+        return dump
 
     def reboot(self) -> None:
         """Power cycle: PCRs reset, caches/TLB cold, cycle counter keeps going."""

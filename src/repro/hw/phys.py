@@ -137,6 +137,31 @@ class PhysicalMemory:
         self._check_range(pa, PAGE_SIZE)
         self._frames.pop(pa // PAGE_SIZE, None)
 
+    # -- state hashing -----------------------------------------------------
+
+    def state_digest(self) -> str:
+        """A canonical hash of frame ownership and frame contents.
+
+        A frame holding all zeroes hashes the same as an absent frame:
+        ``zero_frame`` pops the backing page while a write of zeroes
+        leaves it resident, and the two must not be distinguishable.
+        """
+        import hashlib
+        h = hashlib.sha256()
+        for frame in sorted(self._owners):
+            owner = self._owners[frame]
+            h.update(f"own:{frame}:{owner.kind.value}:"
+                     f"{owner.enclave_id}\n".encode())
+        zero = bytes(PAGE_SIZE)
+        for frame in sorted(self._frames):
+            page = self._frames[frame]
+            if page == zero:
+                continue
+            h.update(f"mem:{frame}:".encode())
+            h.update(hashlib.sha256(page).digest())
+            h.update(b"\n")
+        return h.hexdigest()
+
     # -- helpers -----------------------------------------------------------
 
     def _frame_no(self, pa: int) -> int:
@@ -195,3 +220,12 @@ class FramePool:
 
     def contains(self, pa: int) -> bool:
         return self.base <= pa < self.base + self.size
+
+    def state_digest(self) -> str:
+        """A hash of the free list (order included: it decides the next
+        allocation, so it is behavioral state, not bookkeeping)."""
+        import hashlib
+        h = hashlib.sha256()
+        for pa in self._free:
+            h.update(pa.to_bytes(8, "little"))
+        return h.hexdigest()

@@ -77,6 +77,28 @@ class Tlb:
         if self.sanitizer is not None:
             self.sanitizer.on_tlb_flush_asid(asid)
 
+    def entries_dump(self) -> list[dict]:
+        """Every resident translation, LRU-oldest first (forensics)."""
+        return [{"asid": asid, "vpn": vpn, "pa_page": pa,
+                 "flags": int(flags)}
+                for (asid, vpn), (pa, flags) in self._entries.items()]
+
+    def state_digest(self) -> str:
+        """A canonical hash of the resident entries and counters.
+
+        LRU *order* is part of the state — it determines future
+        evictions — so the digest folds the entry sequence, not just the
+        set.
+        """
+        from repro.hw import statehash
+        return statehash.digest({
+            "entries": [(asid, vpn, pa, int(flags))
+                        for (asid, vpn), (pa, flags)
+                        in self._entries.items()],
+            "hits": self.hits, "misses": self.misses,
+            "flushes": self.flushes,
+        })
+
     def stats(self) -> dict[str, int]:
         """Hit/miss/flush counters for the telemetry collectors."""
         return {"hits": self.hits, "misses": self.misses,

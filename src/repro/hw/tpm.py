@@ -203,3 +203,19 @@ class Tpm:
     def random(self, n: int) -> bytes:
         """TPM2_GetRandom."""
         return self._drbg.read(n)
+
+    # -- state hashing ---------------------------------------------------------
+
+    def state_digest(self) -> str:
+        """A canonical hash of PCRs, NV counters, and the DRBG position.
+
+        The DRBG position matters: two runs that drew different amounts
+        of TPM randomness are in different states even if every PCR
+        matches, because their *next* random byte differs.
+        """
+        from repro.hw import statehash
+        return statehash.digest({
+            "pcrs": self.pcrs,
+            "nv": self._nv_counters,
+            "drbg": self._drbg.position(),
+        })

@@ -104,6 +104,75 @@ class RustMonitor:
         self.swap_store = UntrustedSwapStore()
         self._swap_states: dict[int, EnclaveSwapState] = {}
 
+        # Fold monitor state into Machine.state_hash() checkpoints, and
+        # give forensic bundles a deep page-table dump on demand.
+        machine.state_providers["monitor"] = self._state_for_hash
+        machine.dump_providers["monitor"] = self._state_dump
+
+    def _state_for_hash(self) -> dict:
+        """Monitor-owned state for ``Machine.state_fingerprint()``.
+
+        Page-table *contents* live in physical frames already hashed by
+        the hardware layer; here we fold the metadata that lives in
+        Python objects: enclave lifecycles, EPC/monitor pool free lists,
+        the normal VM's NPT ranges, and swap versions.
+        """
+        enclaves = {}
+        for eid, enc in self.enclaves.items():
+            enclaves[eid] = {
+                "state": enc.state,
+                "pt_root": enc.pt.root_pa,
+                "asid": enc.pt.asid,
+                "pages": {offset: (p.pa, p.page_type, p.perms)
+                          for offset, p in enc.pages.items()},
+                "tcs": len(enc.tcs_list),
+                "vectors": enc.whitelisted_vectors,
+            }
+        swaps = {}
+        for eid, state in self._swap_states.items():
+            swaps[eid] = {
+                "version": state._version,
+                "records": {va: (r.token, r.version, r.perms)
+                            for va, r in state.records.items()},
+            }
+        return {
+            "enclaves": enclaves,
+            "next_enclave_id": self._next_enclave_id,
+            "hypercalls": self.hypercalls,
+            "os_demoted": self.os_demoted,
+            "epc_free": self.epc_pool.state_digest(),
+            "monitor_free": self.monitor_pool.state_digest(),
+            "normal_npt": self.normal_npt.ranges(),
+            "swap": swaps,
+        }
+
+    def _state_dump(self) -> dict:
+        """Deep monitor state for forensic bundles (full PT walks)."""
+        enclaves = {}
+        for eid, enc in self.enclaves.items():
+            enclaves[str(eid)] = {
+                "state": enc.state.value,
+                "mode": enc.config.mode.value,
+                "base": enc.secs.base,
+                "size": enc.secs.size,
+                "pt_root": enc.pt.root_pa,
+                "asid": enc.pt.asid,
+                "committed_pages": len(enc.pages),
+                "page_table": [
+                    {"va": va, "pa": pa, "flags": int(flags)}
+                    for va, pa, flags in enc.pt.mappings()],
+            }
+        return {
+            "enclaves": enclaves,
+            "hypercalls": self.hypercalls,
+            "os_demoted": self.os_demoted,
+            "epc_free_pages": self.epc_pool.free_pages,
+            "monitor_free_pages": self.monitor_pool.free_pages,
+            "swapped_pages": {
+                str(eid): sorted(state.records)
+                for eid, state in self._swap_states.items()},
+        }
+
     # ------------------------------------------------------------------ boot --
 
     # repro-lint: disable=R003 -- boot-time setup in monitor context, no guest

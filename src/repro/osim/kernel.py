@@ -45,6 +45,51 @@ class Kernel:
         # Running inside the normal VM: fresh guest mappings need nested
         # (NPT) fills.  Huge NPT pages keep this small (Appendix A.2).
         self.virtualized = monitor is not None
+        # Fold OS state into Machine.state_hash(); deep dumps go to the
+        # forensic bundles.
+        machine.state_providers["kernel"] = self._state_for_hash
+        machine.dump_providers["kernel"] = self._state_dump
+
+    def _state_for_hash(self) -> dict:
+        """Kernel-owned state for ``Machine.state_fingerprint()``."""
+        processes = {}
+        for pid, proc in self.processes.items():
+            processes[pid] = {
+                "pt_root": proc.pt.root_pa,
+                "asid": proc.pt.asid,
+                "alive": proc.alive,
+                "vmas": [(v.start, v.size, v.writable, v.populated,
+                          v.pinned, v.frames) for v in proc.vmas],
+            }
+        return {
+            "processes": processes,
+            "next_pid": self._next_pid,
+            "run_queue": list(self.run_queue),
+            "syscalls": self.syscalls,
+            "free": self.frame_pool.state_digest(),
+        }
+
+    def _state_dump(self) -> dict:
+        """Deep OS state for forensic bundles (full PT walks)."""
+        processes = {}
+        for pid, proc in self.processes.items():
+            processes[str(pid)] = {
+                "alive": proc.alive,
+                "pt_root": proc.pt.root_pa,
+                "asid": proc.pt.asid,
+                "vmas": [{"start": v.start, "size": v.size,
+                          "writable": v.writable, "pinned": v.pinned,
+                          "frames": len(v.frames)} for v in proc.vmas],
+                "page_table": [
+                    {"va": va, "pa": pa, "flags": int(flags)}
+                    for va, pa, flags in proc.pt.mappings()],
+            }
+        return {
+            "processes": processes,
+            "run_queue": list(self.run_queue),
+            "syscalls": self.syscalls,
+            "free_pages": self.frame_pool.free_pages,
+        }
 
     def _charge_npt_fill(self, pages: int = 1) -> None:
         # One 2 MB huge NPT entry covers 512 guest pages, so the per-page

@@ -30,7 +30,13 @@ PAGE_SCOPED_OPS = frozenset({"page_fault", "swap_out", "swap_in"})
 
 def fail(machine, san, code: str, message: str, *,
          frame: int | None = None) -> None:
-    """Count the violation in the telemetry registry and raise it."""
+    """Count the violation in the telemetry registry and raise it.
+
+    When forensics are enabled (a flight recorder is active, or CI set
+    ``REPRO_FORENSICS_DIR``) the violation also emits a forensic bundle
+    capturing the machine state at the moment of failure; its path rides
+    on the exception as ``forensic_bundle``.
+    """
     machine.telemetry.registry.counter("sanitizer", "violations",
                                        code=code).inc()
     history = ()
@@ -38,7 +44,11 @@ def fail(machine, san, code: str, message: str, *,
         san.violations += 1
         if frame is not None:
             history = san.shadow.frame_history(frame)
-    raise SanitizerViolation(code, message, history)
+    violation = SanitizerViolation(code, message, history)
+    from repro.flightrec import forensics
+    if forensics.emission_enabled():
+        forensics.emit_for_machine(machine, violation)
+    raise violation
 
 
 # -- per-mapping checks: ownership (I-1), aliasing (I-2), W^X ---------------

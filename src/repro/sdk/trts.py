@@ -284,7 +284,7 @@ class EnclaveContext:
         tel.count("sdk", "exceptions.two_phase", vector=vector,
                   mode=enclave.mode.value)
         with tel.span("trts.exception", enclave=enclave.enclave_id,
-                      vector=vector):
+                      vector=vector), tel.cause(f"exception:{vector}"):
             self._world.aex(enclave, tcs, vector)
             self._handle.kernel.deliver_signal(
                 self._handle.process, _signal_for(vector),

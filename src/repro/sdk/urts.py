@@ -64,8 +64,9 @@ class UntrustedRuntime:
     def create_enclave(self, image: EnclaveImage, signing_key, *,
                        use_marshalling: bool = True) -> "EnclaveHandle":
         """Load, measure, and initialize an enclave from ``image``."""
-        with self.machine.telemetry.span("sdk.create_enclave",
-                                         mode=image.config.mode.value):
+        tel = self.machine.telemetry
+        with tel.span("sdk.create_enclave", mode=image.config.mode.value), \
+                tel.cause(f"create:{image.name}"):
             return self._do_create(image, signing_key,
                                    use_marshalling=use_marshalling)
 
@@ -209,8 +210,9 @@ class EnclaveHandle:
                 f"ECALL to private trusted function {name!r}")
         func = self.image.trusted_funcs[name]
 
-        with self.machine.telemetry.span("sdk.ecall", func=name,
-                                         enclave=self.enclave_id):
+        tel = self.machine.telemetry
+        with tel.span("sdk.ecall", func=name, enclave=self.enclave_id), \
+                tel.cause(f"ecall:{name}"):
             return self._do_ecall(spec, func, kwargs)
 
     def _do_ecall(self, spec: FuncSpec, func, kwargs):
@@ -390,9 +392,10 @@ class EnclaveHandle:
             raise SdkError("OCALL outside an ECALL")
         switchless = self.switchless_workers > 0
 
-        with self.machine.telemetry.span("sdk.ocall", func=name,
-                                         enclave=self.enclave_id,
-                                         switchless=switchless):
+        tel = self.machine.telemetry
+        with tel.span("sdk.ocall", func=name, enclave=self.enclave_id,
+                      switchless=switchless), \
+                tel.cause(f"ocall:{name}"):
             return self._do_ocall(ctx, spec, impl, tcs, switchless, name,
                                   kwargs)
 

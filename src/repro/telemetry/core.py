@@ -122,6 +122,24 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+class _CauseScope:
+    """Context manager pushing a causal label onto the trace ring."""
+
+    __slots__ = ("_ring", "_label")
+
+    def __init__(self, ring: TraceBuffer, label: str) -> None:
+        self._ring = ring
+        self._label = label
+
+    def __enter__(self) -> "_CauseScope":
+        self._ring.push_cause(self._label)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._ring.pop_cause()
+        return False
+
+
 class Span:
     """A cycle-accurate, nesting measurement window.
 
@@ -193,6 +211,7 @@ class Telemetry:
         self.registry = MetricsRegistry()
         self.ring = TraceBuffer(ring_capacity)
         self.ring.attach(cycles)
+        self.ring.on_drop = self._on_ring_drop
         self.enabled = False
         self.spans: deque[SpanRecord] = deque(maxlen=span_capacity)
         self._stack: list[Span] = []
@@ -249,6 +268,22 @@ class Telemetry:
         """Bump a counter iff telemetry is enabled (single branch off)."""
         if self.enabled:
             self.registry.counter(subsystem, name, **labels).inc(amount)
+
+    def cause(self, label: str):
+        """Enter a causal scope that tags every ring event inside it.
+
+        The SDK pushes ``ecall:<name>`` / ``ocall:<name>`` scopes so
+        events recorded kernel- and monitor-side inherit the edge call
+        that caused them.  A shared no-op when the ring is disabled
+        (single branch), mirroring :meth:`span`.
+        """
+        if not self.ring.enabled:
+            return NULL_SPAN
+        return _CauseScope(self.ring, label)
+
+    def _on_ring_drop(self, n: int) -> None:
+        """Ring wrap-around: surface the loss as a metric, not silence."""
+        self.registry.counter("trace", "dropped_events").inc(n)
 
     # -- hardware collectors -------------------------------------------------
 

@@ -29,6 +29,7 @@ class TelemetrySink:
         self._items: list[tuple[str, Telemetry]] = []
         self._labels: set[str] = set()
         self._index: dict[int, int] = {}    # id(telemetry) -> items index
+        self._machines: dict[int, object] = {}  # id(telemetry) -> Machine
 
     def _dedupe(self, label: str) -> str:
         base, n = label, 1
@@ -38,13 +39,16 @@ class TelemetrySink:
         self._labels.add(label)
         return label
 
-    def register(self, label: str, telemetry: Telemetry) -> str:
+    def register(self, label: str, telemetry: Telemetry,
+                 machine=None) -> str:
         """Track one machine's telemetry (enabling it).
 
         Re-registering an already-tracked hub renames it (explicit
         labels beat the auto-generated ``machine-N`` ones) instead of
         duplicating the entry.  Returns the de-duplicated label used.
         """
+        if machine is not None:
+            self._machines[id(telemetry)] = machine
         slot = self._index.get(id(telemetry))
         if slot is not None:
             old_label, _ = self._items[slot]
@@ -58,9 +62,46 @@ class TelemetrySink:
         self._items.append((label, telemetry))
         return label
 
-    def auto_register(self, telemetry: Telemetry) -> str:
+    def auto_register(self, telemetry: Telemetry, machine=None) -> str:
         """The machine-construction hook: register under ``machine-N``."""
-        return self.register(f"machine-{len(self._items) + 1}", telemetry)
+        return self.register(f"machine-{len(self._items) + 1}", telemetry,
+                             machine=machine)
+
+    def unregister(self, telemetry: Telemetry) -> bool:
+        """Stop tracking one hub (disabling it); frees its label.
+
+        Returns True when the hub was tracked.  Symmetric with
+        :meth:`register`'s enable, so a machine handed back to a caller
+        leaves no residual observation cost and the label can be reused.
+        """
+        slot = self._index.pop(id(telemetry), None)
+        if slot is None:
+            return False
+        label, _ = self._items.pop(slot)
+        self._labels.discard(label)
+        self._machines.pop(id(telemetry), None)
+        self._index = {id(tel): i for i, (_, tel) in enumerate(self._items)}
+        telemetry.disable()
+        return True
+
+    def machines(self) -> list[tuple[str, object]]:
+        """The registered ``(label, Machine)`` pairs, in creation order.
+
+        Only machines registered through the construction hook (or with
+        an explicit ``machine=``) appear; bare-telemetry registrations
+        have no machine to fingerprint.
+        """
+        out = []
+        for label, telemetry in self._items:
+            machine = self._machines.get(id(telemetry))
+            if machine is not None:
+                out.append((label, machine))
+        return out
+
+    def state_fingerprints(self) -> dict[str, str]:
+        """label -> Machine.state_hash() for every tracked machine."""
+        return {label: machine.state_hash()
+                for label, machine in self.machines()}
 
     @property
     def items(self) -> list[tuple[str, Telemetry]]:

@@ -10,7 +10,7 @@ from repro.bench import (ARTIFACT_KIND, ARTIFACT_VERSION, REGISTRY,
                          compare_report, costs_fingerprint, flatten_metrics,
                          gate_specs, load_artifact, resolve,
                          validate_artifact, write_artifact)
-from repro.bench.compare import MetricDelta
+from repro.bench.compare import FingerprintDelta, MetricDelta
 
 FAKE = BenchSpec("fake", "a fake benchmark", "shape", tolerance=0.05)
 
@@ -128,6 +128,58 @@ class TestCompare:
         assert delta.status == "ok"
         delta = MetricDelta("m", baseline=0.0, current=1e-6, tolerance=0.01)
         assert delta.status == "regressed"
+
+
+class TestFingerprintCompare:
+    def test_exact_equality_no_band(self):
+        assert FingerprintDelta("state_hash.gu", "a" * 64, "a" * 64)\
+            .status == "ok"
+        assert FingerprintDelta("state_hash.gu", "a" * 64, "b" * 64)\
+            .status == "regressed"
+        assert FingerprintDelta("state_hash.gu", None, "a" * 64)\
+            .status == "new"
+        assert FingerprintDelta("state_hash.gu", "a" * 64, None)\
+            .status == "missing"
+
+    def test_changed_fingerprint_fails_the_gate(self):
+        base = fake_artifact()
+        base["fingerprints"] = {"gu": "a" * 64}
+        cur = fake_artifact()
+        cur["fingerprints"] = {"gu": "b" * 64}
+        result = compare_artifacts(base, cur)
+        (failure,) = result.failures
+        assert failure.metric == "state_hash.gu"
+        assert failure.status == "regressed"
+        assert failure.rel_change is None      # no band to be inside of
+        assert "state_hash.gu" in compare_report([result])
+
+    def test_baseline_without_fingerprints_skips_the_check(self):
+        # Pre-fingerprint baselines still gate on metrics; regenerating
+        # them with `python -m repro.bench run` opts into the check.
+        base = fake_artifact()
+        base["fingerprints"] = {}
+        cur = fake_artifact()
+        cur["fingerprints"] = {"gu": "a" * 64}
+        result = compare_artifacts(base, cur)
+        assert result.ok
+        assert not any(d.metric.startswith("state_hash.")
+                       for d in result.deltas)
+
+    def test_vanished_machine_fails_the_gate(self):
+        base = fake_artifact()
+        base["fingerprints"] = {"gu": "a" * 64, "hu": "b" * 64}
+        cur = fake_artifact()
+        cur["fingerprints"] = {"gu": "a" * 64}
+        result = compare_artifacts(base, cur)
+        (failure,) = result.failures
+        assert failure.metric == "state_hash.hu"
+        assert failure.status == "missing"
+
+    def test_non_string_fingerprint_rejected_by_validation(self):
+        artifact = fake_artifact()
+        artifact["fingerprints"] = {"gu": 42}
+        with pytest.raises(ValueError, match="non-string fingerprint"):
+            validate_artifact(artifact)
 
 
 class TestRegistry:

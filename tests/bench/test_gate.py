@@ -123,6 +123,57 @@ class TestGate:
         assert any("no committed baseline" in note for note in result.notes)
 
 
+class TestFingerprints:
+    def test_artifact_fingerprints_one_machine_per_mode(self, table1_run):
+        _, _, output = table1_run
+        assert set(output.artifact["fingerprints"]) == \
+            {"gu", "hu", "p", "sgx"}
+        for digest in output.artifact["fingerprints"].values():
+            assert len(digest) == 64            # sha256 hex
+
+    def test_rerun_reproduces_every_fingerprint(self, table1_run):
+        baseline_dir, _, _ = table1_run
+        (result,) = check_benches([TABLE1], baseline_dir=baseline_dir,
+                                  log=lambda *_: None)
+        assert result.ok
+        checked = {d.metric for d in result.deltas}
+        assert {"state_hash.gu", "state_hash.hu", "state_hash.p",
+                "state_hash.sgx"} <= checked
+
+    def test_tampered_fingerprint_fails_the_gate(self, table1_run,
+                                                 tmp_path):
+        baseline_dir, _, _ = table1_run
+        path = baseline_dir / "BENCH_table1_edge_calls.json"
+        doc = json.loads(path.read_text())
+        doc["fingerprints"]["hu"] = "f" * 64
+        path.write_text(json.dumps(doc))
+        (result,) = check_benches([TABLE1], baseline_dir=baseline_dir,
+                                  log=lambda *_: None)
+        assert not result.ok
+        assert [d.metric for d in result.failures] == ["state_hash.hu"]
+
+    def test_recording_leaves_table1_bit_identical(self, table1_run,
+                                                   tmp_path):
+        # The flight recorder is a pure observer: a recorded Table 1 run
+        # produces the same metrics AND the same state hashes as the
+        # bare run, and its journal replays without divergence.
+        from repro.bench.runner import run_one
+        from repro.flightrec.journal import Journal
+        _, _, bare = table1_run
+        recorded = run_one(TABLE1, profile=False, record_dir=tmp_path)
+        assert recorded.artifact["metrics"]["HU-Enclave.ecall"] == \
+            costs.ecall_expected("hu")
+        for metric, value in bare.artifact["metrics"].items():
+            if metric.startswith("profile."):
+                continue            # profiling disabled on the rerun
+            assert recorded.artifact["metrics"][metric] == value, metric
+        assert recorded.artifact["fingerprints"] == \
+            bare.artifact["fingerprints"]
+        journal = Journal.load(tmp_path / "table1_edge_calls.journal.json")
+        assert journal.header["scenario"] == "bench:table1_edge_calls"
+        assert journal.events and journal.checkpoints
+
+
 class TestCommittedBaselines:
     def test_gate_set_baselines_are_committed_and_valid(self):
         for name in GATE_SET:

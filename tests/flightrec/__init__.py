@@ -1,0 +1,1 @@
+"""Flight-recorder tests: journal, record/replay, forensics, CLI."""

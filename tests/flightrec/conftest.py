@@ -1,0 +1,32 @@
+"""Fixtures: a registered programmatic scenario over the demo enclave."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flightrec import scenario as flightrec_scenario
+from repro.platform import TeePlatform
+from tests.sdk.conftest import SMALL, demo_image
+
+SCENARIO_ID = "test:demo-lifecycle"
+
+
+def demo_lifecycle(args: dict) -> dict:
+    """A small deterministic workload: create, 3x(ecall+ocall), destroy."""
+    platform = TeePlatform.hyperenclave(SMALL)
+    handle = platform.load_enclave(demo_image())
+    handle.register_ocall("ocall_sink", lambda data, n: 0)
+    total = 0
+    for _ in range(args.get("iters", 3)):
+        total += handle.proxies.add_numbers(a=40, b=2)
+        handle.proxies.echo_through_ocall(data=b"hello", n=5)
+    handle.destroy()
+    return {"sum": total, "cycles": platform.machine.cycles.total}
+
+
+@pytest.fixture
+def lifecycle_scenario():
+    """Register the demo-lifecycle scenario for the duration of a test."""
+    flightrec_scenario.register(SCENARIO_ID, demo_lifecycle)
+    yield SCENARIO_ID
+    flightrec_scenario.unregister(SCENARIO_ID)

@@ -1,0 +1,90 @@
+"""Sink lifecycle: many machines, relabeling, unregistration, hashes.
+
+The sink is process-wide state; these tests pin the parts multi-machine
+experiments depend on — every constructed machine is captured, explicit
+labels upgrade auto ones, unregistering leaves no residue, and the
+per-machine state fingerprints feed the bench determinism gate.
+"""
+
+from __future__ import annotations
+
+from repro.platform import TeePlatform
+from repro.telemetry import sink as telemetry_sink
+from tests.sdk.conftest import SMALL, demo_image
+
+
+class TestMultipleMachines:
+    def test_every_constructed_machine_is_captured(self):
+        with telemetry_sink.capture() as sink:
+            platforms = [TeePlatform.hyperenclave(SMALL) for _ in range(3)]
+        labels = [label for label, _ in sink.machines()]
+        assert labels == ["machine-1", "machine-2", "machine-3"]
+        assert [m for _, m in sink.machines()] == \
+            [p.machine for p in platforms]
+
+    def test_relabel_preserves_slot_and_machine(self):
+        with telemetry_sink.capture() as sink:
+            platform = TeePlatform.hyperenclave(SMALL)
+            sink.register("gu", platform.machine.telemetry)
+        assert [label for label, _ in sink.machines()] == ["gu"]
+
+    def test_duplicate_labels_are_deduplicated(self):
+        with telemetry_sink.capture() as sink:
+            a = TeePlatform.hyperenclave(SMALL)
+            b = TeePlatform.hyperenclave(SMALL)
+            sink.register("gu", a.machine.telemetry)
+            sink.register("gu", b.machine.telemetry)
+        assert [label for label, _ in sink.machines()] == ["gu", "gu-2"]
+
+    def test_state_fingerprints_cover_every_machine(self):
+        with telemetry_sink.capture() as sink:
+            for _ in range(2):
+                platform = TeePlatform.hyperenclave(SMALL)
+                handle = platform.load_enclave(demo_image())
+                handle.proxies.add_numbers(a=1, b=2)
+                handle.destroy()
+            fingerprints = sink.state_fingerprints()
+        assert set(fingerprints) == {"machine-1", "machine-2"}
+        # Identical workloads on identical machines: identical hashes.
+        assert fingerprints["machine-1"] == fingerprints["machine-2"]
+
+
+class TestUnregister:
+    def test_unregister_frees_label_and_disables_telemetry(self):
+        with telemetry_sink.capture() as sink:
+            a = TeePlatform.hyperenclave(SMALL)
+            b = TeePlatform.hyperenclave(SMALL)
+            assert sink.unregister(a.machine.telemetry) is True
+            assert not a.machine.telemetry.enabled
+            assert b.machine.telemetry.enabled
+            c = TeePlatform.hyperenclave(SMALL)
+        labels = [label for label, _ in sink.machines()]
+        assert a.machine not in [m for _, m in sink.machines()]
+        assert len(labels) == 2 and len(set(labels)) == 2
+
+    def test_unregister_unknown_hub_is_a_noop(self):
+        with telemetry_sink.capture() as sink:
+            platform = TeePlatform.hyperenclave(SMALL)
+            other = TeePlatform.hyperenclave(SMALL)
+            sink.unregister(other.machine.telemetry)
+            assert sink.unregister(other.machine.telemetry) is False
+        assert [m for _, m in sink.machines()] == [platform.machine]
+
+    def test_registration_works_after_unregister(self):
+        with telemetry_sink.capture() as sink:
+            a = TeePlatform.hyperenclave(SMALL)
+            sink.register("gu", a.machine.telemetry)
+            sink.unregister(a.machine.telemetry)
+            b = TeePlatform.hyperenclave(SMALL)
+            label = sink.register("gu", b.machine.telemetry)
+        assert label == "gu"                     # freed label was reused
+        assert sink.machines() == [("gu", b.machine)]
+
+    def test_fingerprints_skip_unregistered_machines(self):
+        with telemetry_sink.capture() as sink:
+            a = TeePlatform.hyperenclave(SMALL)
+            b = TeePlatform.hyperenclave(SMALL)
+            sink.unregister(a.machine.telemetry)
+            fingerprints = sink.state_fingerprints()
+        assert list(fingerprints) == ["machine-2"]
+        assert fingerprints["machine-2"] == b.machine.state_hash()

@@ -25,7 +25,14 @@ import json
 import pathlib
 import subprocess
 
-ARTIFACT_VERSION = 1
+# Version 2 added the explicit ``artifact_version`` forward-compat
+# field, the ``throughput`` block (host wall-clock speed, gated with a
+# direction-aware band) and the ``latency`` block (per-enclave
+# p50/p95/p99 cycle summaries).  Version-1 baselines still load; the
+# gate warns about — rather than fails on — the blocks they lack (see
+# repro.bench.compare).
+ARTIFACT_VERSION = 2
+SUPPORTED_ARTIFACT_VERSIONS = (1, 2)
 ARTIFACT_KIND = "hyperenclave-bench"
 
 # Provenance fields that may legitimately differ between a committed
@@ -131,14 +138,65 @@ def provenance() -> dict:
 
 # -- artifact assembly -------------------------------------------------------
 
+def throughput_block(spec, telemetry_doc: dict, wall_seconds: float
+                     ) -> dict:
+    """The wall-clock speed digest: cycles per wall-second plus shares.
+
+    ``sim_cycles_per_wall_second`` is the headline metric ROADMAP item 1
+    locks in; the per-subsystem wall shares (from the ``.self_wall_ns``
+    span counters, so nesting never double-counts) say *where* the host
+    seconds went.  ``harness`` is wall time outside any span — figure
+    shaping, artifact assembly, interpreter overhead.
+    """
+    from repro.telemetry.export import wall_ns_by_subsystem
+
+    combined = telemetry_doc["combined"]
+    total_cycles = combined["total_cycles"]
+    wall_ns = wall_ns_by_subsystem(telemetry_doc)
+    span_wall = sum(wall_ns.values())
+    total_ns = wall_seconds * 1e9
+    wall_ns = dict(sorted(wall_ns.items()))
+    wall_ns["harness"] = max(total_ns - span_wall, 0.0)
+    shares = {sub: ns / total_ns if total_ns else 0.0
+              for sub, ns in wall_ns.items()}
+    return {
+        "wall_seconds": wall_seconds,
+        "sim_cycles": total_cycles,
+        "sim_cycles_per_wall_second":
+            total_cycles / wall_seconds if wall_seconds else 0.0,
+        # The gate's direction-aware band travels with the baseline so
+        # `check` uses the band in force when it was recorded.
+        "tolerance": spec.throughput_tolerance,
+        "direction": "higher_is_better",
+        "wall_ns_by_subsystem": wall_ns,
+        "wall_share_by_subsystem": shares,
+    }
+
+
+def latency_block(telemetry_doc: dict) -> dict | None:
+    """Per-enclave p50/p95/p99 cycle latencies for the edge-call spans.
+
+    Deterministic (cycle domain), so these metrics sit under the normal
+    tolerance band — including the zero band of the exact tables.
+    """
+    from repro.telemetry.export import latency_summaries
+
+    summary = latency_summaries(telemetry_doc)
+    return summary or None
+
+
 def build_artifact(spec, figures, telemetry_doc: dict | None,
                    profile_doc: dict | None,
-                   fingerprints: dict[str, str] | None = None) -> dict:
+                   fingerprints: dict[str, str] | None = None, *,
+                   wall_seconds: float | None = None) -> dict:
     """Assemble one ``BENCH_<name>.json`` document.
 
     ``fingerprints`` maps machine labels to ``Machine.state_hash()``
     values; the gate compares them with *exact equality* (no tolerance
     band), turning the bench gate into a cross-run determinism gate.
+    ``wall_seconds`` is the host wall-clock duration of the benchmark's
+    ``run()``; when given (and telemetry captured cycles), the artifact
+    gains the ``throughput`` block and its direction-aware gated metric.
     """
     from repro.profiler import profile_summary
 
@@ -146,6 +204,8 @@ def build_artifact(spec, figures, telemetry_doc: dict | None,
     metrics = flatten_metrics(figures)
 
     telemetry_digest = None
+    throughput = None
+    latency = None
     if telemetry_doc is not None and telemetry_doc["machines"]:
         combined = telemetry_doc["combined"]
         telemetry_digest = {
@@ -156,6 +216,13 @@ def build_artifact(spec, figures, telemetry_doc: dict | None,
         metrics["telemetry.total_cycles"] = float(combined["total_cycles"])
         for sub, cycles in combined["by_subsystem"].items():
             metrics[f"telemetry.by_subsystem.{sub}"] = float(cycles)
+        if wall_seconds is not None and wall_seconds > 0:
+            throughput = throughput_block(spec, telemetry_doc, wall_seconds)
+            metrics["throughput.sim_cycles_per_wall_second"] = \
+                float(throughput["sim_cycles_per_wall_second"])
+        latency = latency_block(telemetry_doc)
+        if latency is not None:
+            metrics.update(flatten_metrics(latency, "latency"))
 
     profile_digest = None
     if profile_doc is not None and profile_doc["machines"]:
@@ -165,6 +232,7 @@ def build_artifact(spec, figures, telemetry_doc: dict | None,
 
     return {
         "version": ARTIFACT_VERSION,
+        "artifact_version": ARTIFACT_VERSION,
         "kind": ARTIFACT_KIND,
         "name": spec.name,
         "title": spec.title,
@@ -175,17 +243,30 @@ def build_artifact(spec, figures, telemetry_doc: dict | None,
         "metrics": metrics,
         "fingerprints": dict(fingerprints) if fingerprints else {},
         "telemetry": telemetry_digest,
+        "throughput": throughput,
+        "latency": latency,
         "profile": profile_digest,
     }
+
+
+def artifact_version(document: dict) -> int:
+    """The schema version of a loaded artifact (1 when pre-versioning).
+
+    Version-2 artifacts carry the explicit ``artifact_version`` field;
+    version-1 baselines only have ``version``.
+    """
+    return int(document.get("artifact_version",
+                            document.get("version", 1)))
 
 
 def validate_artifact(document) -> None:
     """Raise ``ValueError`` unless ``document`` is a bench artifact."""
     if not isinstance(document, dict):
         raise ValueError("artifact: expected an object")
-    if document.get("version") != ARTIFACT_VERSION:
+    if document.get("version") not in SUPPORTED_ARTIFACT_VERSIONS:
         raise ValueError(
-            f"artifact: unsupported version {document.get('version')!r}")
+            f"artifact: unsupported version {document.get('version')!r} "
+            f"(supported: {SUPPORTED_ARTIFACT_VERSIONS})")
     if document.get("kind") != ARTIFACT_KIND:
         raise ValueError(
             f"artifact: unexpected kind {document.get('kind')!r}")
@@ -205,6 +286,16 @@ def validate_artifact(document) -> None:
         if not isinstance(value, str):
             raise ValueError(
                 f"artifact: non-string fingerprint {key!r}")
+    throughput = document.get("throughput")
+    if throughput is not None:
+        if not isinstance(throughput, dict):
+            raise ValueError("artifact: throughput must be an object")
+        rate = throughput.get("sim_cycles_per_wall_second")
+        if isinstance(rate, bool) or not isinstance(rate, (int, float)) \
+                or rate <= 0:
+            raise ValueError(
+                f"artifact: throughput.sim_cycles_per_wall_second must "
+                f"be a positive number, got {rate!r}")
 
 
 def write_artifact(path: str | pathlib.Path, document: dict

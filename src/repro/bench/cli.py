@@ -1,23 +1,28 @@
-"""The bench-harness CLI: ``python -m repro.bench run|check|diff|list``.
+"""The bench-harness CLI: ``python -m repro.bench
+run|check|diff|report|list``.
 
-* ``run``   — execute benchmarks (default: the gate set) and write
+* ``run``    — execute benchmarks (default: the gate set) and write
   ``BENCH_<name>.json`` baselines plus flamegraph/trace side artifacts;
-* ``check`` — re-run and gate against the committed baselines; exit 1 on
+* ``check``  — re-run and gate against the committed baselines; exit 1 on
   any regression (this is CI's ``bench-gate`` job);
-* ``diff``  — compare two artifacts: per-metric deltas plus the top
+* ``diff``   — compare two artifacts: per-metric deltas plus the top
   profile frame movements;
-* ``list``  — show the registry.
+* ``report`` — render committed artifacts (throughput, per-enclave
+  latency percentiles, cycle digest) without running anything;
+* ``list``   — show the registry.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 
-from repro.bench.artifact import load_artifact
+from repro.bench.artifact import artifact_path, load_artifact
 from repro.bench.compare import compare_artifacts, compare_report
 from repro.bench.registry import REGISTRY, resolve
+from repro.bench.report import report_all
 from repro.bench.runner import (DEFAULT_BASELINE_DIR, DEFAULT_RESULTS_PATH,
                                 check_benches, run_benches)
 
@@ -77,6 +82,29 @@ def _cmd_check(args) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def _cmd_report(args) -> int:
+    artifacts = []
+    for item in args.artifacts or []:
+        path = pathlib.Path(item)
+        if not path.exists():
+            # Accept bench names too: resolve into the baseline dir.
+            (spec,) = resolve([item])
+            path = artifact_path(args.baseline_dir, spec.name)
+        artifacts.append(load_artifact(path))
+    if not artifacts:
+        artifacts = [load_artifact(artifact_path(args.baseline_dir,
+                                                 spec.name))
+                     for spec in resolve(None)
+                     if artifact_path(args.baseline_dir,
+                                      spec.name).exists()]
+    if not artifacts:
+        print(f"no artifacts found under {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
+    print(report_all(artifacts))
+    return 0
+
+
 def _cmd_diff(args) -> int:
     baseline = load_artifact(args.base)
     current = load_artifact(args.current)
@@ -126,6 +154,17 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--verbose", action="store_true",
                    help="show every compared metric, not just failures")
     p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser("report",
+                       help="render artifact digests: throughput, "
+                            "per-enclave latency percentiles, cycles")
+    p.add_argument("artifacts", nargs="*", metavar="NAME-or-PATH",
+                   help="bench names or artifact paths (default: the "
+                        "committed gate-set baselines)")
+    p.add_argument("--baseline-dir", default=str(DEFAULT_BASELINE_DIR),
+                   metavar="DIR",
+                   help="where BENCH_<name>.json baselines live")
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("diff", help="compare two BENCH_*.json artifacts")
     p.add_argument("base")

@@ -1,0 +1,82 @@
+"""Human-readable digests of ``BENCH_<name>.json`` artifacts.
+
+``python -m repro.bench report`` renders, per artifact: the headline
+throughput (simulated cycles per host wall-second and where the wall
+time went), the per-enclave latency percentile table (p50/p95/p99 in
+simulated cycles, Stress-SGX-style), and the cycle digest.  It reads
+committed baselines by default, so "how fast is the simulator on the
+gate set" is one command with no benchmark run.
+"""
+
+from __future__ import annotations
+
+
+def _fmt_cycles(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value:,.0f}"
+
+
+def throughput_section(artifact: dict) -> list[str]:
+    """Render the throughput block, or a pointer when absent."""
+    throughput = artifact.get("throughput")
+    if not throughput:
+        return ["  throughput: not recorded (artifact predates the "
+                "throughput gate; regenerate with `python -m repro.bench "
+                "run`)"]
+    rate = throughput["sim_cycles_per_wall_second"]
+    out = [f"  throughput: {rate:,.0f} simulated cycles / wall-second "
+           f"({throughput['sim_cycles']:,.0f} cycles in "
+           f"{throughput['wall_seconds']:.3f} s)",
+           f"  gate band: fail below "
+           f"{(1 - throughput['tolerance']):.0%} of baseline "
+           f"(slowdowns only; speedups always pass)"]
+    shares = throughput.get("wall_share_by_subsystem") or {}
+    if shares:
+        out.append("  wall time by subsystem:")
+        for sub, share in sorted(shares.items(), key=lambda kv: -kv[1]):
+            ns = throughput["wall_ns_by_subsystem"].get(sub, 0)
+            out.append(f"    {sub:<12} {ns / 1e6:>10,.2f} ms  "
+                       f"({share:6.1%})")
+    return out
+
+
+def latency_section(artifact: dict) -> list[str]:
+    """Render the per-enclave latency percentile table."""
+    latency = artifact.get("latency")
+    if not latency:
+        return ["  latency: no per-enclave span histograms recorded"]
+    out = ["  per-enclave latency (simulated cycles):",
+           f"    {'machine':<12} {'enclave':<8} {'span':<18} "
+           f"{'count':>8} {'p50':>10} {'p95':>10} {'p99':>10}"]
+    for machine, enclaves in sorted(latency.items()):
+        for enclave, spans in sorted(enclaves.items()):
+            for span, row in sorted(spans.items()):
+                out.append(
+                    f"    {machine:<12} {enclave:<8} {span:<18} "
+                    f"{row['count']:>8} "
+                    f"{_fmt_cycles(row.get('p50')):>10} "
+                    f"{_fmt_cycles(row.get('p95')):>10} "
+                    f"{_fmt_cycles(row.get('p99')):>10}")
+    return out
+
+
+def artifact_report(artifact: dict) -> str:
+    """The full plain-text digest of one artifact."""
+    out = [f"{artifact['name']} — {artifact['title']} "
+           f"[{artifact['bench_kind']}]",
+           f"  artifact_version {artifact.get('artifact_version', 1)}, "
+           f"{len(artifact['metrics'])} gated metric(s), "
+           f"tolerance {artifact['tolerance']:.1%}"]
+    telemetry = artifact.get("telemetry")
+    if telemetry:
+        out.append(f"  simulated cycles: {telemetry['total_cycles']:,.0f} "
+                   f"across {telemetry['machines']} machine(s)")
+    out.extend(throughput_section(artifact))
+    out.extend(latency_section(artifact))
+    return "\n".join(out)
+
+
+def report_all(artifacts: list[dict]) -> str:
+    """Digest every artifact, blank-line separated."""
+    return "\n\n".join(artifact_report(a) for a in artifacts)

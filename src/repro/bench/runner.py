@@ -14,8 +14,10 @@ bare run — the gate compares like with like.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import sys
+import time
 from dataclasses import dataclass
 
 from repro.bench.artifact import (artifact_path, build_artifact,
@@ -26,6 +28,19 @@ from repro.bench.registry import BenchSpec
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 DEFAULT_BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 DEFAULT_RESULTS_PATH = REPO_ROOT / "benchmarks" / "results.json"
+
+# The throughput gate's self-test hook: a float number of seconds slept
+# inside the timed window of every run.  CI's throughput-smoke job sets
+# it to prove an artificial slowdown trips the direction-aware band;
+# it exists ONLY for that — simulated figures are unaffected.
+SLOWDOWN_ENV = "REPRO_BENCH_SLOWDOWN_S"
+
+
+def _injected_slowdown() -> float:
+    try:
+        return float(os.environ.get(SLOWDOWN_ENV, "") or 0.0)
+    except ValueError:
+        return 0.0
 
 
 def _ensure_benchmarks_importable() -> None:
@@ -57,7 +72,9 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
     When ``artifacts_dir`` is given, the side artifacts land there:
     ``<name>.telemetry.json`` + ``<name>.telemetry.trace.json`` (snapshot
     and Chrome trace), ``<name>.profile.json`` (full profile document)
-    and ``<name>.collapsed`` (flamegraph-ready stacks).
+    and ``<name>.collapsed`` + ``<name>.wall.collapsed`` (cycle- and
+    wall-weighted flamegraph stacks — the pair is the efficiency
+    flamegraph).
 
     When ``record_dir`` is given, a flight recorder is active for the
     run and its journal lands at ``<record_dir>/<name>.journal.json`` —
@@ -66,18 +83,26 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
     """
     from repro.flightrec import forensics
     from repro.flightrec import recorder as flightrec_recorder
-    from repro.profiler import profile_document, write_collapsed
+    from repro.profiler import (host_clock_ns, profile_document,
+                                write_collapsed, write_wall_collapsed)
     from repro.telemetry import sink as telemetry_sink
 
     _ensure_benchmarks_importable()
     rec = None
     journal_path = None
+    slowdown = _injected_slowdown()
     with telemetry_sink.capture() as sink:
         if record_dir is not None:
             rec = flightrec_recorder.FlightRecorder(f"bench:{spec.name}")
             flightrec_recorder.activate(rec)
+        # The throughput clock wraps exactly the benchmark's run() — the
+        # same window the spans observe — so sim_cycles_per_wall_second
+        # measures the simulator, not artifact I/O.
+        wall_start_ns = host_clock_ns()
         try:
             figures = spec.run()
+            if slowdown > 0:
+                time.sleep(slowdown)
         except Exception as exc:
             # A crashed benchmark still leaves evidence: one forensic
             # bundle per machine (when enabled) before propagating.
@@ -87,6 +112,7 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
         finally:
             if rec is not None:
                 flightrec_recorder.deactivate()
+        wall_seconds = (host_clock_ns() - wall_start_ns) / 1e9
         fingerprints = sink.state_fingerprints()
     if rec is not None:
         journal_path = rec.finish(figures).write(
@@ -96,7 +122,7 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
     profile_doc = profile_document(sink.items) \
         if profile and sink.items else None
     artifact = build_artifact(spec, figures, telemetry_doc, profile_doc,
-                              fingerprints)
+                              fingerprints, wall_seconds=wall_seconds)
 
     written: list[pathlib.Path] = []
     if artifacts_dir is not None:
@@ -112,6 +138,10 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
             written.append(profile_path)
             written.append(write_collapsed(
                 artifacts_dir / f"{spec.name}.collapsed", profile_doc))
+            # The wall-weighted twin: cycle vs wall widths side by side
+            # are the efficiency flamegraph.
+            written.append(write_wall_collapsed(
+                artifacts_dir / f"{spec.name}.wall.collapsed", profile_doc))
     if journal_path is not None:
         written.append(journal_path)
     return RunOutput(spec=spec, artifact=artifact,

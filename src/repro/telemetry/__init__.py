@@ -7,19 +7,23 @@ See docs/OBSERVABILITY.md for the full API and file formats.
 from repro.telemetry.core import (NULL_SPAN, Span, SpanRecord, Telemetry,
                                   UnclosedSpanError, cycles_by_subsystem,
                                   subsystem_for_category)
-from repro.telemetry.metrics import (Counter, Gauge, Histogram,
-                                     MetricsRegistry)
+from repro.telemetry.metrics import (SUMMARY_QUANTILES, Counter, Gauge,
+                                     Histogram, MetricsRegistry,
+                                     percentile_from_buckets)
 from repro.telemetry.export import (chrome_trace_document,
-                                    machine_snapshot, snapshot_document,
-                                    top_report, trace_path_for,
+                                    latency_summaries, machine_snapshot,
+                                    snapshot_document, top_report,
+                                    trace_path_for, wall_ns_by_subsystem,
                                     write_telemetry)
 from repro.telemetry.schema import SchemaError, validate_snapshot
 
 __all__ = [
     "NULL_SPAN", "Span", "SpanRecord", "Telemetry", "UnclosedSpanError",
     "cycles_by_subsystem", "subsystem_for_category",
-    "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "chrome_trace_document", "machine_snapshot", "snapshot_document",
-    "top_report", "trace_path_for", "write_telemetry",
+    "SUMMARY_QUANTILES", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "percentile_from_buckets",
+    "chrome_trace_document", "latency_summaries", "machine_snapshot",
+    "snapshot_document", "top_report", "trace_path_for",
+    "wall_ns_by_subsystem", "write_telemetry",
     "SchemaError", "validate_snapshot",
 ]

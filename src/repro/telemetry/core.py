@@ -105,6 +105,10 @@ class SpanRecord:
     depth: int
     error: bool
     path: tuple[str, ...] = ()
+    # Host wall-time spent in this span minus enclosed child spans: the
+    # wall-domain twin of ``self_cycles``, feeding the wall/efficiency
+    # profiler (repro.profiler.wall).
+    self_wall_ns: int = 0
 
 
 class _NullSpan:
@@ -150,7 +154,8 @@ class Span:
     """
 
     __slots__ = ("_telemetry", "name", "labels", "start_cycle",
-                 "_start_wall", "_child_cycles", "_depth", "_path")
+                 "_start_wall", "_child_cycles", "_child_wall", "_depth",
+                 "_path")
 
     def __init__(self, telemetry: "Telemetry", name: str,
                  labels: dict) -> None:
@@ -161,6 +166,7 @@ class Span:
     def __enter__(self) -> "Span":
         tel = self._telemetry
         self._child_cycles = 0
+        self._child_wall = 0
         self._depth = len(tel._stack)
         parent_path = tel._stack[-1]._path if tel._stack else ()
         self._path = parent_path + (self.name,)
@@ -180,8 +186,10 @@ class Span:
             if top is self:
                 break
         self_cycles = max(dur - self._child_cycles, 0)
+        self_wall = max(dur_wall - self._child_wall, 0)
         if stack:
             stack[-1]._child_cycles += dur
+            stack[-1]._child_wall += dur_wall
         subsystem, _, short = self.name.partition(".")
         short = short or subsystem
         reg = tel.registry
@@ -190,15 +198,23 @@ class Span:
         reg.counter(subsystem, short + ".cycles", **labels).inc(dur)
         reg.counter(subsystem, short + ".self_cycles",
                     **labels).inc(self_cycles)
+        # Wall-domain metrics ride the same enabled-only path as the
+        # cycle metrics: the single branch in Telemetry.span() is the
+        # only disabled-path cost.  self_wall_ns counters sum exactly to
+        # root-span wall time, so throughput wall shares need no profile.
         reg.counter(subsystem, short + ".wall_ns", **labels).inc(dur_wall)
+        reg.counter(subsystem, short + ".self_wall_ns",
+                    **labels).inc(self_wall)
         reg.histogram(subsystem, short + ".cycles_hist",
                       **labels).observe(dur)
+        reg.histogram(subsystem, short + ".wall_ns_hist",
+                      **labels).observe(dur_wall)
         tel.spans.append(SpanRecord(
             name=self.name, labels=labels, start_cycle=self.start_cycle,
             dur_cycles=dur, self_cycles=self_cycles,
             start_wall_ns=self._start_wall, dur_wall_ns=dur_wall,
             depth=self._depth, error=exc_type is not None,
-            path=self._path))
+            path=self._path, self_wall_ns=self_wall))
         return False
 
 

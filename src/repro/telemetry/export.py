@@ -90,6 +90,87 @@ def snapshot_document(items: list[tuple[str, Telemetry]], *,
     }
 
 
+# -- derived summaries (latency percentiles, wall shares) --------------------
+
+# The span families whose per-enclave latency distributions matter for
+# serving: edge calls (sdk.*) and world switches (world.*).  os/monitor
+# spans are keyed by pid/frame, not enclave, and stay out of the table.
+LATENCY_SUBSYSTEMS = ("sdk", "world")
+
+
+def _merge_histogram(into: dict, snap_entry: dict) -> None:
+    """Fold one histogram metric snapshot into a bucket accumulator."""
+    for lo, hi, n in snap_entry["buckets"]:
+        into["buckets"][(lo, hi)] = into["buckets"].get((lo, hi), 0) + n
+    into["count"] += snap_entry["count"]
+    for bound, pick in (("min", min), ("max", max)):
+        value = snap_entry.get(bound)
+        if value is not None:
+            into[bound] = value if into[bound] is None \
+                else pick(into[bound], value)
+
+
+def latency_summaries(document: dict,
+                      subsystems: tuple[str, ...] = LATENCY_SUBSYSTEMS
+                      ) -> dict:
+    """Per-enclave latency percentiles from the span cycle histograms.
+
+    Shape: ``{machine: {enclave: {"sdk.ecall": {count, p50, p95, p99}}}}``.
+    Histograms are merged across every other label dimension (func, cpu,
+    mode), keyed by the ``enclave`` span label.  Latencies are *simulated
+    cycles*, so the summary is deterministic and can sit under the exact
+    bench gate; the log2-bucket interpolation error is bounded by one
+    bucket (see :func:`repro.telemetry.metrics.percentile_from_buckets`).
+    """
+    from repro.telemetry.metrics import (SUMMARY_QUANTILES,
+                                         percentile_from_buckets)
+    out: dict[str, dict] = {}
+    for snap in document["machines"]:
+        merged: dict[tuple[str, str], dict] = {}
+        for entry in snap["metrics"]:
+            if entry["type"] != "histogram" \
+                    or not entry["name"].endswith(".cycles_hist") \
+                    or entry["subsystem"] not in subsystems \
+                    or "enclave" not in entry["labels"]:
+                continue
+            enclave = str(entry["labels"]["enclave"])
+            span = f"{entry['subsystem']}." \
+                   f"{entry['name'].removesuffix('.cycles_hist')}"
+            acc = merged.setdefault((enclave, span), {
+                "buckets": {}, "count": 0, "min": None, "max": None})
+            _merge_histogram(acc, entry)
+        machine_table: dict[str, dict] = {}
+        for (enclave, span), acc in sorted(merged.items()):
+            buckets = [[lo, hi, n] for (lo, hi), n
+                       in sorted(acc["buckets"].items())]
+            row = {"count": acc["count"]}
+            for q in SUMMARY_QUANTILES:
+                row[f"p{q:g}"] = percentile_from_buckets(
+                    buckets, acc["count"], q,
+                    lo_clamp=acc["min"], hi_clamp=acc["max"])
+            machine_table.setdefault(enclave, {})[span] = row
+        if machine_table:
+            out[snap["label"]] = machine_table
+    return out
+
+
+def wall_ns_by_subsystem(document: dict) -> dict[str, int | float]:
+    """Span-attributed host wall-time per subsystem, from a snapshot.
+
+    Sums the ``.self_wall_ns`` span counters, so nested spans are not
+    double-counted: the total equals root-span wall time.  Snapshots
+    that predate the wall-domain counters return ``{}``.
+    """
+    out: dict[str, int | float] = {}
+    for snap in document["machines"]:
+        for entry in snap["metrics"]:
+            if entry["type"] == "counter" \
+                    and entry["name"].endswith(".self_wall_ns"):
+                sub = entry["subsystem"]
+                out[sub] = out.get(sub, 0) + entry["value"]
+    return out
+
+
 # -- Chrome trace_event ------------------------------------------------------
 
 def chrome_trace_events(telemetry: Telemetry, *, pid: int = 1,

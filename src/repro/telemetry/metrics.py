@@ -13,9 +13,52 @@ span five orders of magnitude: an EENTER (~1.2 k cycles) and an EPC swap
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 MetricKey = tuple[str, str, tuple[tuple[str, object], ...]]
+
+# The quantiles the latency summaries report (Stress-SGX-style tails).
+SUMMARY_QUANTILES = (50.0, 95.0, 99.0)
+
+
+def percentile_from_buckets(buckets: Iterable[Iterable[float]],
+                            count: int, q: float,
+                            lo_clamp: float | None = None,
+                            hi_clamp: float | None = None) -> float | None:
+    """The q-th percentile of a bucketed distribution, interpolated.
+
+    ``buckets`` is the snapshot form ``[[lo, hi, n], ...]`` (any bucket
+    scheme with half-open ``[lo, hi)`` ranges, sorted ascending).  Within
+    the bucket holding the target rank the observation mass is assumed
+    uniform, so the estimate is linear between the bucket bounds — on
+    log2 buckets the worst-case error is one bucket width (a factor of
+    two), which the tests pin against exact numpy percentiles.  The
+    estimate is clamped to the observed ``[min, max]`` when known, which
+    makes single-observation and single-bucket histograms exact at the
+    edges.  Returns None for an empty distribution.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    if count <= 0:
+        return None
+    occupied = [(lo, hi, n) for lo, hi, n in buckets if n > 0]
+    if not occupied:
+        return None
+    target = (q / 100.0) * count
+    cumulative = 0.0
+    value: float | None = None
+    for lo, hi, n in occupied:
+        if cumulative + n >= target:
+            value = lo + (hi - lo) * max(target - cumulative, 0.0) / n
+            break
+        cumulative += n
+    if value is None:               # q == 100 edge / float drift: top bucket
+        value = occupied[-1][1]
+    if lo_clamp is not None:
+        value = max(value, lo_clamp)
+    if hi_clamp is not None:
+        value = min(value, hi_clamp)
+    return value
 
 
 def _label_key(labels: dict[str, object]) -> tuple[tuple[str, object], ...]:
@@ -100,6 +143,27 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+
+    def percentile(self, q: float) -> float | None:
+        """The q-th percentile, linearly interpolated inside its bucket.
+
+        See :func:`percentile_from_buckets` for the estimation model;
+        None on an empty histogram.
+        """
+        buckets = ([*self.bucket_bounds(i), n]
+                   for i, n in sorted(self.counts.items()))
+        return percentile_from_buckets(buckets, self.count, q,
+                                       lo_clamp=self.min, hi_clamp=self.max)
+
+    def percentiles(self, qs: Iterable[float] = SUMMARY_QUANTILES
+                    ) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}``; empty when no data."""
+        out = {}
+        for q in qs:
+            value = self.percentile(q)
+            if value is not None:
+                out[f"p{q:g}"] = value
+        return out
 
     def snapshot(self) -> dict:
         buckets = [[*self.bucket_bounds(i), n]

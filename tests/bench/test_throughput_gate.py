@@ -1,0 +1,209 @@
+"""The throughput gate: direction-aware wall-clock regression checks.
+
+Synthetic telemetry (spans under a monkeypatched ``perf_counter_ns``)
+makes the throughput and latency blocks hand-checkable without running a
+real benchmark; the compare tests then pin the direction-aware band
+(slowdowns beyond the band fail, speedups of any size pass) and the
+version-1 baseline forward-compat path (warn and skip, never fail).
+"""
+
+import time
+
+import pytest
+
+from repro.bench import (BenchSpec, SLOWDOWN_ENV, artifact_version,
+                         build_artifact, compare_artifacts,
+                         validate_artifact)
+from repro.bench.runner import _injected_slowdown
+from repro.hw.cycles import CycleCounter
+from repro.telemetry import Telemetry
+from repro.telemetry.export import snapshot_document
+
+SPEC = BenchSpec("fakebench", "synthetic throughput bench", "exact",
+                 tolerance=0.0, throughput_tolerance=0.75)
+
+
+class TickClock:
+    def __init__(self, step_ns: int = 1000) -> None:
+        self.now = 0
+        self.step = step_ns
+
+    def __call__(self) -> int:
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture
+def fake_clock(monkeypatch):
+    clock = TickClock()
+    monkeypatch.setattr(time, "perf_counter_ns", clock)
+    return clock
+
+
+def sim_telemetry() -> dict:
+    """A deterministic snapshot: two enclaves, sdk + world spans."""
+    tel = Telemetry(CycleCounter())
+    tel.enable()
+    for enclave, cost in ((1, 8000), (2, 9000)):
+        for _ in range(20):
+            with tel.span("sdk.ecall", enclave=enclave):
+                tel.cycles.charge(cost, "sdk-ecall")
+                with tel.span("world.eenter", enclave=enclave):
+                    tel.cycles.charge(1200, "eenter:hu")
+    return snapshot_document([("m", tel)])
+
+
+def artifact(wall_seconds=2.0, telemetry=None):
+    doc = sim_telemetry() if telemetry is None else telemetry
+    return build_artifact(SPEC, {"score": 1.0}, doc, None,
+                          wall_seconds=wall_seconds)
+
+
+class TestThroughputBlock:
+    def test_rate_and_gated_metric(self, fake_clock):
+        art = artifact(wall_seconds=2.0)
+        validate_artifact(art)
+        assert artifact_version(art) == 2
+        block = art["throughput"]
+        total = art["telemetry"]["total_cycles"]
+        assert block["sim_cycles"] == total
+        assert block["sim_cycles_per_wall_second"] == \
+            pytest.approx(total / 2.0)
+        assert block["direction"] == "higher_is_better"
+        assert block["tolerance"] == 0.75
+        assert art["metrics"]["throughput.sim_cycles_per_wall_second"] == \
+            pytest.approx(total / 2.0)
+
+    def test_wall_shares_include_harness_remainder(self, fake_clock):
+        art = artifact(wall_seconds=2.0)
+        shares = art["throughput"]["wall_share_by_subsystem"]
+        assert set(shares) == {"sdk", "world", "harness"}
+        # Span wall-time is tiny against 2 s, so the harness (time
+        # outside any span) dominates; shares always sum to 1.
+        assert shares["harness"] == pytest.approx(
+            1.0 - shares["sdk"] - shares["world"])
+        wall_ns = art["throughput"]["wall_ns_by_subsystem"]
+        assert sum(wall_ns.values()) == pytest.approx(2.0 * 1e9)
+
+    def test_no_wall_seconds_means_no_throughput(self, fake_clock):
+        art = artifact(wall_seconds=None)
+        assert art["throughput"] is None
+        assert not any(m.startswith("throughput.")
+                       for m in art["metrics"])
+
+
+class TestLatencyBlock:
+    def test_per_enclave_percentiles(self, fake_clock):
+        art = artifact()
+        table = art["latency"]["m"]
+        assert set(table) == {"1", "2"}
+        row = table["1"]["sdk.ecall"]
+        assert row["count"] == 20
+        # Every observation for enclave 1 is 8000 + 1200 = 9200 cycles
+        # (inclusive), a single-bucket histogram: clamping makes all
+        # three percentiles exact.
+        assert row["p50"] == row["p95"] == row["p99"] == 9200
+        assert table["2"]["sdk.ecall"]["p99"] == 10200
+        assert table["1"]["world.eenter"]["p50"] == 1200
+        assert art["metrics"]["latency.m.1.sdk.ecall.p99"] == 9200
+
+    def test_latency_metrics_are_deterministic(self, fake_clock):
+        a, b = artifact(), artifact()
+        lat_a = {k: v for k, v in a["metrics"].items()
+                 if k.startswith("latency.")}
+        lat_b = {k: v for k, v in b["metrics"].items()
+                 if k.startswith("latency.")}
+        assert lat_a and lat_a == lat_b
+
+
+class TestDirectionAwareGate:
+    def scaled(self, base, factor, fake_telemetry=None):
+        """The same artifact with the throughput rate scaled."""
+        import copy
+        cur = copy.deepcopy(base)
+        rate = cur["throughput"]["sim_cycles_per_wall_second"] * factor
+        cur["throughput"]["sim_cycles_per_wall_second"] = rate
+        cur["metrics"]["throughput.sim_cycles_per_wall_second"] = rate
+        return cur
+
+    def test_identical_runs_pass_with_zero_cycle_band(self, fake_clock):
+        base = artifact()
+        result = compare_artifacts(base, artifact())
+        assert result.ok and not result.notes
+
+    def test_slowdown_beyond_band_fails(self, fake_clock):
+        base = artifact()
+        result = compare_artifacts(base, self.scaled(base, 0.2))
+        assert not result.ok
+        (failure,) = result.failures
+        assert failure.metric == "throughput.sim_cycles_per_wall_second"
+        assert failure.status == "regressed"
+
+    def test_slowdown_within_band_passes(self, fake_clock):
+        base = artifact()
+        # -50% is inside the 75% band (fail threshold: below 25%).
+        assert compare_artifacts(base, self.scaled(base, 0.5)).ok
+
+    def test_any_speedup_passes(self, fake_clock):
+        base = artifact()
+        # +900% would fail a symmetric band; higher_is_better passes it.
+        assert compare_artifacts(base, self.scaled(base, 10.0)).ok
+
+    def test_band_travels_with_the_baseline(self, fake_clock):
+        base = artifact()
+        base["throughput"]["tolerance"] = 0.10     # a strict baseline
+        assert not compare_artifacts(base, self.scaled(base, 0.85)).ok
+        assert compare_artifacts(base, self.scaled(base, 0.95)).ok
+
+
+class TestV1BaselineCompat:
+    def as_v1(self, art):
+        """Strip everything version 2 added, as a PR-4-era baseline."""
+        import copy
+        old = copy.deepcopy(art)
+        del old["artifact_version"]
+        old["version"] = 1
+        old["throughput"] = None
+        old["latency"] = None
+        old["metrics"] = {k: v for k, v in old["metrics"].items()
+                          if not k.startswith(("throughput.", "latency."))}
+        return old
+
+    def test_v1_baseline_warns_and_passes(self, fake_clock):
+        current = artifact()
+        old = self.as_v1(current)
+        assert artifact_version(old) == 1
+        result = compare_artifacts(old, current)
+        assert result.ok
+        assert len(result.notes) == 2          # throughput + latency
+        assert all("regenerate" in note for note in result.notes)
+
+    def test_v2_baseline_does_not_warn(self, fake_clock):
+        current = artifact()
+        result = compare_artifacts(artifact(), current)
+        assert not result.notes
+
+    def test_figure_named_latency_still_gates_against_v1(self, fake_clock):
+        # A *figure* whose flattened metrics share the "latency." prefix
+        # must not be swallowed by the v1 skip: it exists in the old
+        # baseline's metrics, so drift in it still fails the gate.
+        current = build_artifact(SPEC, {"latency": {"hu": 100.0}},
+                                 sim_telemetry(), None, wall_seconds=2.0)
+        old = self.as_v1(current)
+        old["metrics"]["latency.hu"] = 100.0
+        old["figures"] = {"latency": {"hu": 100.0}}
+        drifted = dict(current, metrics=dict(current["metrics"]))
+        drifted["metrics"]["latency.hu"] = 250.0
+        result = compare_artifacts(old, drifted)
+        assert any(d.metric == "latency.hu" and d.status == "regressed"
+                   for d in result.failures)
+
+
+class TestSlowdownHook:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        assert _injected_slowdown() == 0.0
+        monkeypatch.setenv(SLOWDOWN_ENV, "2.5")
+        assert _injected_slowdown() == 2.5
+        monkeypatch.setenv(SLOWDOWN_ENV, "nonsense")
+        assert _injected_slowdown() == 0.0

@@ -1,0 +1,228 @@
+"""Unit tests for the wall-clock (host-time) profiler.
+
+A monkeypatched ``perf_counter_ns`` makes every span's wall duration
+hand-computable, which pins the dual-domain frame aggregation (self vs
+inclusive wall-ns), the efficiency ratios, the subsystem shares, the
+wall flamegraph format, and the CLI's graceful degradation on profiles
+written before the wall profiler existed.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.hw.cycles import CycleCounter
+from repro.profiler import (efficiency_frames, efficiency_report,
+                            has_wall_data, host_clock_ns, machine_profile,
+                            profile_document, subsystem_wall_shares,
+                            wall_collapsed_lines, wall_frames, wall_report,
+                            wall_summary, write_wall_collapsed)
+from repro.profiler.__main__ import main as profiler_main
+from repro.telemetry import Telemetry
+
+
+class FakeClock:
+    """perf_counter_ns stand-in: +1000 ns per call, so spans have exact
+    hand-checkable durations (enter and exit each consume one tick)."""
+
+    def __init__(self, step_ns: int = 1000) -> None:
+        self.now = 0
+        self.step = step_ns
+
+    def __call__(self) -> int:
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture
+def fake_clock(monkeypatch):
+    clock = FakeClock()
+    monkeypatch.setattr(time, "perf_counter_ns", clock)
+    return clock
+
+
+def make_tel() -> Telemetry:
+    tel = Telemetry(CycleCounter())
+    tel.enable()
+    return tel
+
+
+def run_workload(tel: Telemetry) -> None:
+    """One nested tree; with FakeClock every wall charge is exact.
+
+    Clock trace (1000 ns per call):
+      sdk.ecall    enter@1000                           exit@6000
+      world.eenter           enter@2000 exit@3000
+      world.eexit                       enter@4000 exit@5000
+    So: eenter/eexit dur=1000 self=1000; ecall dur=5000, child=2000,
+    self=3000.
+    """
+    with tel.span("sdk.ecall", enclave=1):
+        tel.cycles.charge(100, "sdk-ecall")
+        with tel.span("world.eenter"):
+            tel.cycles.charge(1500, "eenter:hu")
+        with tel.span("world.eexit"):
+            tel.cycles.charge(400, "eexit:hu")
+
+
+class TestWallFrameAggregation:
+    def test_self_vs_inclusive_wall_per_stack(self, fake_clock):
+        tel = make_tel()
+        run_workload(tel)
+        profile = machine_profile(tel, "m")
+        frames = {tuple(f["stack"]): f for f in profile["frames"]}
+        ecall = frames[("sdk.ecall",)]
+        assert ecall["wall_ns"] == 5000          # inclusive
+        assert ecall["self_wall_ns"] == 3000     # minus both children
+        assert frames[("sdk.ecall", "world.eenter")]["self_wall_ns"] == 1000
+        assert frames[("sdk.ecall", "world.eexit")]["self_wall_ns"] == 1000
+        assert profile["total_span_wall_ns"] == 5000   # root spans only
+
+    def test_self_wall_sums_to_root_wall(self, fake_clock):
+        tel = make_tel()
+        run_workload(tel)
+        run_workload(tel)
+        profile = machine_profile(tel, "m")
+        assert sum(f["self_wall_ns"] for f in profile["frames"]) == \
+            profile["total_span_wall_ns"] == 10000
+
+    def test_wall_frames_ranked_heaviest_first(self, fake_clock):
+        tel = make_tel()
+        run_workload(tel)
+        document = profile_document([("m", tel)])
+        ranked = wall_frames(document)
+        assert ranked[0]["stack"] == ["sdk.ecall"]
+        assert [f["self_wall_ns"] for f in ranked] == [3000, 1000, 1000]
+
+    def test_subsystem_shares_sum_to_one(self, fake_clock):
+        tel = make_tel()
+        run_workload(tel)
+        document = profile_document([("m", tel)])
+        shares = subsystem_wall_shares(document)
+        assert set(shares) == {"sdk", "world"}
+        assert shares["sdk"]["self_wall_ns"] == 3000
+        assert shares["world"]["self_wall_ns"] == 2000
+        assert shares["sdk"]["share"] == pytest.approx(0.6)
+        assert sum(e["share"] for e in shares.values()) == pytest.approx(1.0)
+
+    def test_summary_mirrors_cycle_summary_shape(self, fake_clock):
+        tel = make_tel()
+        run_workload(tel)
+        document = profile_document([("m", tel)])
+        summary = wall_summary(document, n=2)
+        assert summary["total_span_wall_ns"] == 5000
+        assert summary["machines"] == 1
+        assert len(summary["top_self_wall"]) == 2
+        assert summary["top_self_wall"][0]["stack"] == "sdk.ecall"
+
+
+class TestEfficiencyFrames:
+    def test_wall_ns_per_cycle_ratio(self, fake_clock):
+        tel = make_tel()
+        run_workload(tel)
+        document = profile_document([("m", tel)])
+        frames = {";".join(f["stack"]): f
+                  for f in efficiency_frames(document)}
+        # sdk.ecall: 3000 ns over 100 self cycles = 30 ns/cycle.
+        assert frames["sdk.ecall"]["wall_ns_per_cycle"] == \
+            pytest.approx(30.0)
+        # world.eenter: 1000 ns over 1500 cycles ~ 0.67 ns/cycle.
+        assert frames["sdk.ecall;world.eenter"]["wall_ns_per_cycle"] == \
+            pytest.approx(1000 / 1500)
+
+    def test_worst_ratio_first_and_min_cycles_filter(self, fake_clock):
+        tel = make_tel()
+        run_workload(tel)
+        document = profile_document([("m", tel)])
+        ranked = efficiency_frames(document)
+        ratios = [f["wall_ns_per_cycle"] for f in ranked]
+        assert ratios == sorted(ratios, reverse=True)
+        assert ranked[0]["stack"] == ["sdk.ecall"]     # 30 ns/cycle
+        # min_cycles=1000 drops sdk.ecall (100 self cycles): its ratio
+        # would be noise on a real run.
+        filtered = efficiency_frames(document, min_cycles=1000)
+        assert all(f["self_cycles"] >= 1000 for f in filtered)
+        assert ["sdk.ecall"] not in [f["stack"] for f in filtered]
+
+    def test_report_names_the_hot_path(self, fake_clock):
+        tel = make_tel()
+        run_workload(tel)
+        document = profile_document([("m", tel)])
+        text = efficiency_report(document, min_cycles=1)
+        assert "ns/cycle" in text
+        assert "sdk.ecall" in text
+
+
+class TestWallFlamegraph:
+    def test_collapsed_lines_weighted_by_self_wall(self, fake_clock):
+        tel = make_tel()
+        run_workload(tel)
+        document = profile_document([("m", tel)])
+        lines = wall_collapsed_lines(document)
+        assert "m;sdk.ecall 3000" in lines
+        assert "m;sdk.ecall;world.eenter 1000" in lines
+
+    def test_write_round_trip(self, fake_clock, tmp_path):
+        tel = make_tel()
+        run_workload(tel)
+        document = profile_document([("m", tel)])
+        path = write_wall_collapsed(tmp_path / "x.wall.collapsed", document)
+        content = path.read_text().strip().splitlines()
+        assert len(content) == 3
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in content)
+
+
+class TestBackCompat:
+    def _old_document(self, tmp_path):
+        """A profile as PR-3 wrote it: no wall fields anywhere."""
+        tel = make_tel()
+        run_workload(tel)
+        document = profile_document([("m", tel)])
+        for snap in document["machines"] + [document["combined"]]:
+            snap.pop("total_span_wall_ns", None)
+            for frame in snap["frames"]:
+                frame.pop("wall_ns", None)
+                frame.pop("self_wall_ns", None)
+        path = tmp_path / "old.profile.json"
+        path.write_text(json.dumps(document))
+        return document, path
+
+    def test_has_wall_data(self, fake_clock, tmp_path):
+        old, _ = self._old_document(tmp_path)
+        assert not has_wall_data(old)
+        tel = make_tel()
+        run_workload(tel)
+        assert has_wall_data(profile_document([("m", tel)]))
+
+    def test_cli_wall_and_efficiency_exit_2_on_old_profiles(
+            self, fake_clock, tmp_path, capsys):
+        _, path = self._old_document(tmp_path)
+        assert profiler_main(["wall", str(path)]) == 2
+        assert profiler_main(["efficiency", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "no wall-domain data" in err
+
+    def test_cli_wall_and_efficiency_on_current_profiles(
+            self, fake_clock, tmp_path, capsys):
+        tel = make_tel()
+        run_workload(tel)
+        document = profile_document([("m", tel)])
+        path = tmp_path / "cur.profile.json"
+        path.write_text(json.dumps(document))
+        out_path = tmp_path / "cur.wall.collapsed"
+        assert profiler_main(["wall", str(path),
+                              "-o", str(out_path)]) == 0
+        assert out_path.exists()
+        assert profiler_main(["efficiency", str(path),
+                              "--min-cycles", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "wall share by subsystem" in out
+        assert "ns/cycle" in out
+
+
+class TestHostClock:
+    def test_host_clock_is_monotonic_ns(self):
+        a = host_clock_ns()
+        b = host_clock_ns()
+        assert isinstance(a, int) and b >= a

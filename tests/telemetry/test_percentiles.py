@@ -1,0 +1,116 @@
+"""Percentile derivation from log2-bucket histograms.
+
+The estimates interpolate linearly inside the bucket holding the target
+rank, so on power-of-two buckets the worst case is one bucket width — a
+factor of two.  These tests pin that bound against exact numpy
+percentiles on uniform, bimodal, and heavy-tailed distributions, plus
+the edge cases (empty, single observation, single bucket, q=0/100)
+where clamping to the observed min/max makes the estimate exact.
+"""
+
+import pytest
+
+from repro.telemetry import (SUMMARY_QUANTILES, Histogram,
+                             percentile_from_buckets)
+
+np = pytest.importorskip("numpy")
+
+
+def fill(values) -> Histogram:
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+def assert_within_factor_two(hist, values, q):
+    exact = float(np.percentile(np.asarray(values, dtype=float), q))
+    estimate = hist.percentile(q)
+    assert estimate is not None
+    if exact > 0:
+        assert exact / 2 <= estimate <= exact * 2, \
+            f"p{q}: estimate {estimate} vs exact {exact}"
+    assert hist.min <= estimate <= hist.max
+
+
+class TestAgainstNumpy:
+    @pytest.mark.parametrize("q", SUMMARY_QUANTILES)
+    def test_uniform(self, q):
+        values = list(range(1, 1001))
+        assert_within_factor_two(fill(values), values, q)
+
+    @pytest.mark.parametrize("q", SUMMARY_QUANTILES)
+    def test_bimodal(self, q):
+        # Two cost populations an order of magnitude apart — the shape
+        # of ecall costs vs EPC-swap costs.  The split is uneven so no
+        # tested rank falls exactly in the empty gap between the modes,
+        # where every value between them is an equally valid percentile.
+        rng = np.random.default_rng(20260808)
+        values = np.concatenate([rng.integers(90, 130, 450),
+                                 rng.integers(9_000, 17_000, 550)])
+        assert_within_factor_two(fill(values), values, q)
+
+    @pytest.mark.parametrize("q", SUMMARY_QUANTILES)
+    def test_heavy_tail(self, q):
+        rng = np.random.default_rng(42)
+        values = (rng.pareto(1.5, 2000) * 100 + 1).astype(int)
+        assert_within_factor_two(fill(values), values, q)
+
+    def test_tail_percentiles_are_monotone(self):
+        rng = np.random.default_rng(7)
+        hist = fill((rng.pareto(2.0, 5000) * 300 + 1).astype(int))
+        p = hist.percentiles()
+        assert p["p50"] <= p["p95"] <= p["p99"]
+
+
+class TestEdgeCases:
+    def test_empty_histogram_returns_none(self):
+        hist = Histogram()
+        assert hist.percentile(50) is None
+        assert hist.percentiles() == {}
+
+    def test_single_observation_is_exact_everywhere(self):
+        hist = fill([1234])
+        for q in (0, 1, 50, 99, 100):
+            assert hist.percentile(q) == 1234    # clamped to min == max
+
+    def test_single_bucket_clamps_to_observed_range(self):
+        # 100 and 120 share bucket [64, 128); interpolation alone would
+        # reach down to 64, the min clamp keeps the estimate observed.
+        hist = fill([100] * 10 + [120] * 10)
+        assert 100 <= hist.percentile(50) <= 120
+        assert hist.percentile(0) == 100
+        assert hist.percentile(100) == 120
+
+    def test_q0_and_q100_hit_the_observed_extremes(self):
+        hist = fill([3, 700, 50_000])
+        assert hist.percentile(0) == 3
+        assert hist.percentile(100) == 50_000
+
+    def test_out_of_range_q_raises(self):
+        hist = fill([1])
+        with pytest.raises(ValueError, match="percentile out of range"):
+            hist.percentile(101)
+        with pytest.raises(ValueError, match="percentile out of range"):
+            hist.percentile(-1)
+
+
+class TestPercentileFromBuckets:
+    def test_hand_computed_interpolation(self):
+        # Two buckets of two: rank target for p50 over 4 observations is
+        # 2.0, which lands exactly at the first bucket's upper bound.
+        buckets = [(0, 1, 2), (1, 2, 2)]
+        assert percentile_from_buckets(buckets, 4, 50) == pytest.approx(1.0)
+        # p75 -> target 3.0, one observation into the second bucket:
+        # 1 + (2-1) * (3-2)/2 = 1.5.
+        assert percentile_from_buckets(buckets, 4, 75) == pytest.approx(1.5)
+
+    def test_empty_and_zero_count(self):
+        assert percentile_from_buckets([], 0, 50) is None
+        assert percentile_from_buckets([(0, 1, 0)], 0, 50) is None
+
+    def test_accepts_generators(self):
+        # Histogram.percentile passes a generator; the fallback path
+        # must not try to re-consume it.
+        gen = ((lo, hi, n) for lo, hi, n in [(4, 8, 5)])
+        assert percentile_from_buckets(gen, 5, 100) == 8

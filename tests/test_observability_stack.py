@@ -78,3 +78,37 @@ class TestObservabilityStack:
         assert platform_off.machine.sanitizer is None
         assert platform_on.machine.cycles.total == \
             platform_off.machine.cycles.total
+
+
+class TestZeroPerturbationTable1:
+    """The zero-perturbation pin: every observer at once is still free.
+
+    Table 1 with wall profiling, the invariant sanitizer, and the flight
+    recorder all active must produce bit-identical simulated cycles and
+    ``Machine.state_hash()`` fingerprints to a bare run — the observers
+    may cost host wall time, never simulated time.
+    """
+
+    def test_table1_bit_identical_with_all_observers_on(
+            self, tmp_path, monkeypatch):
+        from repro.bench.registry import REGISTRY
+        from repro.bench.runner import run_one
+
+        spec = REGISTRY["table1_edge_calls"]
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        bare = run_one(spec, profile=False)
+
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        full = run_one(spec, profile=True, record_dir=tmp_path,
+                       artifacts_dir=tmp_path)
+
+        assert full.artifact["fingerprints"] and \
+            full.artifact["fingerprints"] == bare.artifact["fingerprints"]
+        for metric, value in bare.artifact["metrics"].items():
+            if metric.startswith(("profile.", "throughput.")):
+                continue        # host-wall / profile-only families
+            assert full.artifact["metrics"][metric] == value, metric
+        # The instrumented run really did record the wall domain.
+        assert full.artifact["throughput"] is not None
+        assert (tmp_path / "table1_edge_calls.wall.collapsed").exists()
+        assert (tmp_path / "table1_edge_calls.journal.json").exists()

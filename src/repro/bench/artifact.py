@@ -128,18 +128,23 @@ def _git_commit() -> str | None:
 def provenance() -> dict:
     """The artifact provenance block (fingerprint, python, commit)."""
     import sys
+    from repro.hw import fastpath
     return {
         "costs_fingerprint": costs_fingerprint(),
         "python": ".".join(map(str, sys.version_info[:3])),
         "git_commit": _git_commit(),
         "determinism": "seeded simulation (repro-lint R001)",
+        # Simulated figures are fastpath-invariant (pinned by
+        # tests/fastpath); wall-clock throughput is not, so the gate
+        # skips throughput.* when baseline and current modes differ.
+        "fastpath": fastpath.mode_name(),
     }
 
 
 # -- artifact assembly -------------------------------------------------------
 
-def throughput_block(spec, telemetry_doc: dict, wall_seconds: float
-                     ) -> dict:
+def throughput_block(spec, telemetry_doc: dict | None, wall_seconds: float,
+                     *, bare_cycles: float | None = None) -> dict:
     """The wall-clock speed digest: cycles per wall-second plus shares.
 
     ``sim_cycles_per_wall_second`` is the headline metric ROADMAP item 1
@@ -147,12 +152,20 @@ def throughput_block(spec, telemetry_doc: dict, wall_seconds: float
     span counters, so nesting never double-counts) say *where* the host
     seconds went.  ``harness`` is wall time outside any span — figure
     shaping, artifact assembly, interpreter overhead.
+
+    Benchmarks that drive hardware models with bare cycle counters (no
+    Machine/Telemetry — the sink's ``register_cycles`` path) pass
+    ``bare_cycles`` and no ``telemetry_doc``: all wall time is charged to
+    ``harness`` since no span observed it.
     """
     from repro.telemetry.export import wall_ns_by_subsystem
 
-    combined = telemetry_doc["combined"]
-    total_cycles = combined["total_cycles"]
-    wall_ns = wall_ns_by_subsystem(telemetry_doc)
+    if telemetry_doc is not None:
+        total_cycles = telemetry_doc["combined"]["total_cycles"]
+        wall_ns = wall_ns_by_subsystem(telemetry_doc)
+    else:
+        total_cycles = bare_cycles or 0
+        wall_ns = {}
     span_wall = sum(wall_ns.values())
     total_ns = wall_seconds * 1e9
     wall_ns = dict(sorted(wall_ns.items()))
@@ -188,7 +201,8 @@ def latency_block(telemetry_doc: dict) -> dict | None:
 def build_artifact(spec, figures, telemetry_doc: dict | None,
                    profile_doc: dict | None,
                    fingerprints: dict[str, str] | None = None, *,
-                   wall_seconds: float | None = None) -> dict:
+                   wall_seconds: float | None = None,
+                   bare_cycles: float | None = None) -> dict:
     """Assemble one ``BENCH_<name>.json`` document.
 
     ``fingerprints`` maps machine labels to ``Machine.state_hash()``
@@ -223,6 +237,14 @@ def build_artifact(spec, figures, telemetry_doc: dict | None,
         latency = latency_block(telemetry_doc)
         if latency is not None:
             metrics.update(flatten_metrics(latency, "latency"))
+    elif (bare_cycles and wall_seconds is not None and wall_seconds > 0):
+        # No machines, but the run registered bare cycle counters with
+        # the sink (e.g. fig11's memory-latency sweep): the throughput
+        # gate still applies, with all wall time attributed to harness.
+        throughput = throughput_block(spec, None, wall_seconds,
+                                      bare_cycles=bare_cycles)
+        metrics["throughput.sim_cycles_per_wall_second"] = \
+            float(throughput["sim_cycles_per_wall_second"])
 
     profile_digest = None
     if profile_doc is not None and profile_doc["machines"]:

@@ -95,6 +95,12 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
         if record_dir is not None:
             rec = flightrec_recorder.FlightRecorder(f"bench:{spec.name}")
             flightrec_recorder.activate(rec)
+        # Pull in the benchmark module (and the support modules a first
+        # run would otherwise import lazily) before starting the clock:
+        # module loading is host-process setup, not simulator work.
+        spec.load()
+        import repro.analysis.tables    # noqa: F401
+        import repro.hw.statehash       # noqa: F401
         # The throughput clock wraps exactly the benchmark's run() — the
         # same window the spans observe — so sim_cycles_per_wall_second
         # measures the simulator, not artifact I/O.
@@ -114,6 +120,7 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
                 flightrec_recorder.deactivate()
         wall_seconds = (host_clock_ns() - wall_start_ns) / 1e9
         fingerprints = sink.state_fingerprints()
+        bare_cycles = sink.bare_cycles_total()
     if rec is not None:
         journal_path = rec.finish(figures).write(
             pathlib.Path(record_dir) / f"{spec.name}.journal.json")
@@ -122,7 +129,8 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
     profile_doc = profile_document(sink.items) \
         if profile and sink.items else None
     artifact = build_artifact(spec, figures, telemetry_doc, profile_doc,
-                              fingerprints, wall_seconds=wall_seconds)
+                              fingerprints, wall_seconds=wall_seconds,
+                              bare_cycles=bare_cycles)
 
     written: list[pathlib.Path] = []
     if artifacts_dir is not None:

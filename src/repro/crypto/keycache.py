@@ -1,0 +1,143 @@
+"""Precomputed deterministic RSA key material.
+
+Every RSA key in the simulation is derived deterministically from a seed
+(TPM EK/AIK, RustMonitor's attestation key), so for a given seed the
+Miller-Rabin search in :func:`repro.crypto.rsa.generate_keypair` always
+lands on the same primes.  Re-running that search is the single most
+expensive step of booting a machine — a quarter second of modular
+exponentiation per platform — and it is pure recomputation of values
+that never change.
+
+This module ships the primes for the seeds the benchmarks and tests
+boot with, committed as ``keycache.json`` next to this file.  On a
+cache hit :func:`lookup` rebuilds the exact key pair the search would
+have produced (same ``p``/``q`` order, same derived ``d``), so key
+material, quotes, measurements and state fingerprints are bit-identical
+with or without the cache.
+
+The cache is auditable, not magic:
+
+* ``python -m repro.crypto.keycache verify`` re-runs the full keygen
+  for every committed entry and fails on any mismatch.
+* ``REPRO_KEYCACHE_RECORD=<path>`` makes every cache miss append a JSON
+  line to ``<path>``; ``python -m repro.crypto.keycache merge <path>``
+  folds recorded entries back into ``keycache.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+_CACHE_PATH = pathlib.Path(__file__).with_name("keycache.json")
+
+# seed-hex -> {"bits": int, "e": int, "p": hex, "q": hex}; loaded lazily.
+_entries: dict[tuple[int, int, str], tuple[int, int]] | None = None
+
+
+def _load() -> dict[tuple[int, int, str], tuple[int, int]]:
+    global _entries
+    if _entries is None:
+        _entries = {}
+        if _CACHE_PATH.exists():
+            doc = json.loads(_CACHE_PATH.read_text())
+            for entry in doc.get("entries", []):
+                key = (entry["bits"], entry["e"], entry["seed"])
+                _entries[key] = (int(entry["p"], 16), int(entry["q"], 16))
+    return _entries
+
+
+def lookup(bits: int, seed: bytes, e: int):
+    """The key pair keygen would derive for (bits, seed, e), or None."""
+    primes = _load().get((bits, e, seed.hex()))
+    if primes is None:
+        return None
+    from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+    p, q = primes
+    d = pow(e, -1, (p - 1) * (q - 1))
+    return RsaKeyPair(public=RsaPublicKey(n=p * q, e=e), d=d, p=p, q=q)
+
+
+def observe_miss(bits: int, seed: bytes, e: int, pair) -> None:
+    """Record a freshly computed key pair when recording is enabled."""
+    path = os.environ.get("REPRO_KEYCACHE_RECORD")
+    if not path:
+        return
+    line = json.dumps({"bits": bits, "e": e, "seed": seed.hex(),
+                       "p": format(pair.p, "x"), "q": format(pair.q, "x")})
+    with open(path, "a") as fh:
+        fh.write(line + "\n")
+
+
+def _write(entries: dict) -> None:
+    doc = {"entries": [
+        {"bits": bits, "e": e, "seed": seed_hex,
+         "p": format(p, "x"), "q": format(q, "x")}
+        for (bits, e, seed_hex), (p, q) in sorted(entries.items())
+    ]}
+    _CACHE_PATH.write_text(json.dumps(doc, indent=1) + "\n")
+
+
+def _cmd_merge(paths: list[str]) -> int:
+    entries = dict(_load())
+    added = 0
+    for path in paths:
+        for line in pathlib.Path(path).read_text().splitlines():
+            if not line.strip():
+                continue
+            rec = json.loads(line)
+            key = (rec["bits"], rec["e"], rec["seed"])
+            value = (int(rec["p"], 16), int(rec["q"], 16))
+            if entries.get(key) != value:
+                entries[key] = value
+                added += 1
+    _write(entries)
+    print(f"keycache: {len(entries)} entries ({added} added/updated)")
+    return 0
+
+
+def _cmd_verify() -> int:
+    from repro.crypto import rsa
+    failures = 0
+    entries = _load()
+    for (bits, e, seed_hex), (p, q) in sorted(entries.items()):
+        seed = bytes.fromhex(seed_hex)
+        # Run the real search, bypassing the cache.
+        drbg = rsa.Drbg(seed)
+        half = bits // 2
+        while True:
+            got_p = rsa._generate_prime(half, drbg)
+            got_q = rsa._generate_prime(bits - half, drbg)
+            if got_p == got_q:
+                continue
+            n = got_p * got_q
+            if n.bit_length() != bits:
+                continue
+            try:
+                pow(e, -1, (got_p - 1) * (got_q - 1))
+            except ValueError:
+                continue
+            break
+        if (got_p, got_q) != (p, q):
+            print(f"MISMATCH bits={bits} seed={seed_hex[:16]}…")
+            failures += 1
+        else:
+            print(f"ok bits={bits} seed={seed_hex[:16]}…")
+    print(f"keycache: {len(entries)} entries, {failures} mismatches")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point: ``verify`` or ``merge <jsonl>...``."""
+    if argv[:1] == ["verify"]:
+        return _cmd_verify()
+    if argv[:1] == ["merge"] and len(argv) > 1:
+        return _cmd_merge(argv[1:])
+    print("usage: python -m repro.crypto.keycache verify | merge <jsonl>...")
+    return 2
+
+
+if __name__ == "__main__":
+    import sys
+    raise SystemExit(main(sys.argv[1:]))

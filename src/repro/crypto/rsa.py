@@ -142,9 +142,20 @@ def cached_keypair(seed: bytes, bits: int = 1024) -> "RsaKeyPair":
 
 def generate_keypair(bits: int = 1024, *, seed: bytes | None = None,
                      e: int = 65537) -> RsaKeyPair:
-    """Generate an RSA key pair; deterministic when ``seed`` is given."""
+    """Generate an RSA key pair; deterministic when ``seed`` is given.
+
+    Seeded generation first consults the committed precomputed-prime
+    cache (:mod:`repro.crypto.keycache`): the search below always lands
+    on the same primes for a given seed, so a hit returns the identical
+    key pair without the Miller-Rabin wall-clock cost.
+    """
     if bits < 512:
         raise ValueError("RSA keys below 512 bits cannot carry SHA-256 sigs")
+    if seed is not None:
+        from repro.crypto import keycache
+        cached = keycache.lookup(bits, seed, e)
+        if cached is not None:
+            return cached
     drbg = Drbg(seed)
     half = bits // 2
     while True:
@@ -160,4 +171,7 @@ def generate_keypair(bits: int = 1024, *, seed: bytes | None = None,
             d = pow(e, -1, phi)
         except ValueError:
             continue
-        return RsaKeyPair(public=RsaPublicKey(n=n, e=e), d=d, p=p, q=q)
+        pair = RsaKeyPair(public=RsaPublicKey(n=n, e=e), d=d, p=p, q=q)
+        if seed is not None:
+            keycache.observe_miss(bits, seed, e, pair)
+        return pair

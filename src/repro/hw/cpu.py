@@ -77,11 +77,17 @@ class Cpu:
         self.mode = state.mode
 
     def charge_steps(self, steps: costs.Steps, category: str) -> int:
-        """Charge an itemized step list; returns the total charged."""
+        """Charge an itemized step list; returns the total charged.
+
+        The steps all land on one category, and step costs are integers
+        (``costs.Steps``), so charging their sum in one call leaves the
+        counter and its per-category breakdown bit-identical to charging
+        each step separately.
+        """
         total = 0
         for _, cyc in steps:
-            self.cycles.charge(cyc, category)
             total += cyc
+        self.cycles.charge(total, category)
         return total
 
     def state_digest(self) -> str:

@@ -16,6 +16,8 @@ from typing import Iterator
 class CycleCounter:
     """A monotonically increasing cycle counter with per-category totals."""
 
+    __slots__ = ("total", "by_category")
+
     def __init__(self) -> None:
         self.total: int = 0
         self.by_category: dict[str, int] = defaultdict(int)
@@ -59,7 +61,8 @@ class CycleSpan:
         self._start: float | None = None
         self.elapsed: float = 0.0
         self._start_categories: dict[str, int] = {}
-        self.categories: dict[str, float] = {}
+        self._end_categories: dict[str, int] = {}
+        self._categories: dict[str, float] | None = {}
 
     def start(self) -> None:
         self._start = self._counter.total
@@ -69,9 +72,20 @@ class CycleSpan:
         if self._start is None:
             raise RuntimeError("CycleSpan.stop() before start()")
         self.elapsed = self._counter.total - self._start
-        self.categories = {
-            cat: self._counter.by_category[cat] - self._start_categories.get(cat, 0)
-            for cat in self._counter.by_category
-            if self._counter.by_category[cat] != self._start_categories.get(cat, 0)
-        }
+        # Snapshot now, diff lazily: most measurement loops only read
+        # ``elapsed``, so the per-category delta is computed on demand.
+        self._end_categories = dict(self._counter.by_category)
+        self._categories = None
         self._start = None
+
+    @property
+    def categories(self) -> dict[str, float]:
+        """Per-category cycle deltas over the span ({} before stop)."""
+        if self._categories is None:
+            start = self._start_categories
+            self._categories = {
+                cat: total - start.get(cat, 0)
+                for cat, total in self._end_categories.items()
+                if total != start.get(cat, 0)
+            }
+        return self._categories

@@ -24,13 +24,15 @@ def copy_in(phys: PhysicalMemory, translate: Callable[[int], int],
     is called once per page touched and may fault, demand-page, or
     police as the caller requires.
     """
-    out = bytearray()
+    out = bytearray(max(size, 0))
+    written = 0
     while size > 0:
         pa = translate(va)
         chunk = min(size, PAGE_SIZE - (va % PAGE_SIZE))
-        out += phys.read(pa, chunk)
+        out[written:written + chunk] = phys.read(pa, chunk)
         va += chunk
         size -= chunk
+        written += chunk
     return bytes(out)
 
 
@@ -42,6 +44,8 @@ def copy_out(phys: PhysicalMemory, translate: Callable[[int], int],
     while view:
         pa = translate(va)
         chunk = min(len(view), PAGE_SIZE - (va % PAGE_SIZE))
-        phys.write(pa, bytes(view[:chunk]))
+        # Hand phys.write the sub-view directly — it slices further
+        # internally; no per-page bytes materialization.
+        phys.write(pa, view[:chunk])
         va += chunk
         view = view[chunk:]

@@ -12,6 +12,13 @@ and freshness).  Both act at cache-line granularity on LLC misses:
   curves in Figure 11 and the memory-intensive workloads in Figure 8.
 
 All constants live in :mod:`repro.hw.costs`.
+
+:meth:`IntelMee.miss_cycles_run` is the fast-path bulk kernel: within a
+run of consecutive missed lines only the *first* line of each level-1
+counter-tree group walks the tree; the rest probe the just-refreshed node
+and hit, so their cost and counter effects are closed-form.  Charges and
+metadata-cache state match per-line :meth:`IntelMee.miss_cycles` calls
+bit for bit.
 """
 
 from __future__ import annotations
@@ -104,28 +111,82 @@ class IntelMee(EncryptionEngine):
     def miss_cycles(self, line_id: int, *, write: bool = False,
                     streaming: bool = False) -> float:
         extra = self.per_stream_miss if streaming else self.per_miss
+        metadata = self._metadata
         node = line_id
         for level in range(1, self.levels + 1):
             node >>= self.arity_shift
             key = (level, node)
             extra += costs.MEE_METADATA_PROBE_CYCLES
-            if key in self._metadata:
-                self._metadata.move_to_end(key)
+            if key in metadata:
+                metadata.move_to_end(key)
                 self.metadata_hits += 1
                 # Upper levels are covered once a lower node hits.
                 break
             self.metadata_misses += 1
             extra += costs.MEE_METADATA_MISS_CYCLES
-            self._metadata[key] = None
-            if len(self._metadata) > self.cache_lines:
-                self._metadata.popitem(last=False)
+            metadata[key] = None
+            if len(metadata) > self.cache_lines:
+                metadata.popitem(last=False)
+        return extra
+
+    def miss_cycles_run(self, start: int, stop: int, *,
+                        write: bool = False, streaming: bool = False
+                        ) -> float:
+        """Total miss cycles for consecutive missed lines ``[start, stop)``.
+
+        The first line of each level-1 counter-tree group does the full
+        tree walk (inserting/refreshing the level-1 node); the *second*
+        line probes that node, hits, and moves it to MRU (replayed here
+        as one ``move_to_end``, since the first walk may have left an
+        upper-level node above it); every later line's probe hits the
+        already-MRU node with no cache mutation.  The group remainder is
+        therefore a single multiplication.  Bit-identical to per-line
+        calls.
+        """
+        if self.levels < 1:
+            base = self.per_stream_miss if streaming else self.per_miss
+            return (stop - start) * base
+        if self.cache_lines < self.levels:
+            # A metadata cache smaller than one walk can evict the
+            # level-1 node during its own walk; no shortcut is exact.
+            return sum(self.miss_cycles(line, write=write,
+                                        streaming=streaming)
+                       for line in range(start, stop))
+        shift = self.arity_shift
+        per_line = (self.per_stream_miss if streaming else self.per_miss) \
+            + costs.MEE_METADATA_PROBE_CYCLES
+        metadata = self._metadata
+        extra = 0.0
+        line = start
+        group_hits = 0
+        while line < stop:
+            extra += self.miss_cycles(line, write=write, streaming=streaming)
+            group_end = ((line >> shift) + 1) << shift
+            if group_end > stop:
+                group_end = stop
+            rest = group_end - line - 1
+            if rest > 0:
+                metadata.move_to_end((1, line >> shift))
+                extra += rest * per_line
+                group_hits += rest
+            line = group_end
+        self.metadata_hits += group_hits
         return extra
 
     def writeback_cycles(self) -> float:
         return self.per_writeback
 
     def reset(self) -> None:
+        """Drop the metadata cache *and* its hit/miss counters.
+
+        ``MemorySubsystem.reset_state()`` means "cold machine between
+        benchmark configurations"; counters carrying across
+        configurations would skew any stats-derived figure and make
+        per-configuration telemetry non-reproducible.
+        """
         self._metadata.clear()
+        self.metadata_hits = 0
+        self.metadata_misses = 0
 
     def stats(self) -> dict[str, int]:
         return {"metadata_hits": self.metadata_hits,

@@ -42,7 +42,7 @@ class PageTableFlags(enum.IntFlag):
     UR = PRESENT | USER | NX
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Translation:
     """Result of a successful walk."""
 

@@ -103,7 +103,7 @@ class TraceBuffer:
     def record(self, kind: str, detail: str = "") -> None:
         if not self.enabled:
             return
-        cycle = int(self._cycles.read()) if self._cycles is not None else 0
+        cycle = self._cycles.read() if self._cycles is not None else 0
         event = TraceEvent(cycle=cycle, kind=kind, detail=detail,
                            seq=self.total_recorded,
                            cause=self.current_cause)

@@ -39,8 +39,12 @@ _OCALL_TRTS_POST = costs.OCALL_SDK_STEPS[3:]
 
 
 def _charge_steps(machine, steps, category) -> None:
+    # One summed charge per step list: costs are integers, so the total
+    # and per-category breakdown match per-step charging exactly.
+    total = 0
     for _, cyc in steps:
-        machine.cycles.charge(cyc, category)
+        total += cyc
+    machine.cycles.charge(total, category)
 
 
 def _charge_memcpy(machine, nbytes: int) -> None:

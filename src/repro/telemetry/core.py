@@ -167,17 +167,18 @@ class Span:
         tel = self._telemetry
         self._child_cycles = 0
         self._child_wall = 0
-        self._depth = len(tel._stack)
-        parent_path = tel._stack[-1]._path if tel._stack else ()
-        self._path = parent_path + (self.name,)
-        tel._stack.append(self)
+        stack = tel._stack
+        self._depth = len(stack)
+        self._path = ((stack[-1]._path + (self.name,)) if stack
+                      else (self.name,))
+        stack.append(self)
         self._start_wall = time.perf_counter_ns()
-        self.start_cycle = int(tel.cycles.read())
+        self.start_cycle = int(tel.cycles.total)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         tel = self._telemetry
-        dur = int(tel.cycles.read()) - self.start_cycle
+        dur = int(tel.cycles.total) - self.start_cycle
         dur_wall = time.perf_counter_ns() - self._start_wall
         stack = tel._stack
         # Unwind robustly: an exception may have skipped child exits.
@@ -190,31 +191,47 @@ class Span:
         if stack:
             stack[-1]._child_cycles += dur
             stack[-1]._child_wall += dur_wall
-        subsystem, _, short = self.name.partition(".")
-        short = short or subsystem
-        reg = tel.registry
         labels = self.labels
-        reg.counter(subsystem, short + ".calls", **labels).inc()
-        reg.counter(subsystem, short + ".cycles", **labels).inc(dur)
-        reg.counter(subsystem, short + ".self_cycles",
-                    **labels).inc(self_cycles)
-        # Wall-domain metrics ride the same enabled-only path as the
-        # cycle metrics: the single branch in Telemetry.span() is the
-        # only disabled-path cost.  self_wall_ns counters sum exactly to
-        # root-span wall time, so throughput wall shares need no profile.
-        reg.counter(subsystem, short + ".wall_ns", **labels).inc(dur_wall)
-        reg.counter(subsystem, short + ".self_wall_ns",
-                    **labels).inc(self_wall)
-        reg.histogram(subsystem, short + ".cycles_hist",
-                      **labels).observe(dur)
-        reg.histogram(subsystem, short + ".wall_ns_hist",
-                      **labels).observe(dur_wall)
+        # The seven metrics a span feeds are fixed per (name, labels);
+        # interning each through the registry on every exit dominates
+        # span overhead, so the resolved cells are memoized on the
+        # Telemetry (cleared alongside the registry in reset()).
+        key = (self.name if not labels
+               else (self.name, tuple(sorted(labels.items()))))
+        metrics = tel._span_metrics.get(key)
+        if metrics is None:
+            subsystem, _, short = self.name.partition(".")
+            short = short or subsystem
+            reg = tel.registry
+            metrics = (
+                reg.counter(subsystem, short + ".calls", **labels),
+                reg.counter(subsystem, short + ".cycles", **labels),
+                reg.counter(subsystem, short + ".self_cycles", **labels),
+                # Wall-domain metrics ride the same enabled-only path as
+                # the cycle metrics: the single branch in
+                # Telemetry.span() is the only disabled-path cost.
+                # self_wall_ns counters sum exactly to root-span wall
+                # time, so throughput wall shares need no profile.
+                reg.counter(subsystem, short + ".wall_ns", **labels),
+                reg.counter(subsystem, short + ".self_wall_ns", **labels),
+                reg.histogram(subsystem, short + ".cycles_hist", **labels),
+                reg.histogram(subsystem, short + ".wall_ns_hist", **labels),
+            )
+            tel._span_metrics[key] = metrics
+        calls, cyc, self_cyc, wall, self_w, cyc_hist, wall_hist = metrics
+        # Direct cell mutation: all increments here are non-negative by
+        # construction (max() above), matching Counter.inc semantics.
+        calls.value += 1
+        cyc.value += dur
+        self_cyc.value += self_cycles
+        wall.value += dur_wall
+        self_w.value += self_wall
+        cyc_hist.observe(dur)
+        wall_hist.observe(dur_wall)
         tel.spans.append(SpanRecord(
-            name=self.name, labels=labels, start_cycle=self.start_cycle,
-            dur_cycles=dur, self_cycles=self_cycles,
-            start_wall_ns=self._start_wall, dur_wall_ns=dur_wall,
-            depth=self._depth, error=exc_type is not None,
-            path=self._path, self_wall_ns=self_wall))
+            self.name, labels, self.start_cycle, dur, self_cycles,
+            self._start_wall, dur_wall, self._depth, exc_type is not None,
+            self._path, self_wall))
         return False
 
 
@@ -233,6 +250,9 @@ class Telemetry:
         self._stack: list[Span] = []
         self._collectors: dict[str, Callable[[], dict]] = {}
         self._paging: dict[str, object] = {}
+        # (name[, sorted-labels]) -> the 7 metric cells a span feeds on
+        # exit; see Span.__exit__.
+        self._span_metrics: dict = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -248,6 +268,7 @@ class Telemetry:
     def reset(self) -> None:
         """Drop all recorded data (metrics, spans, ring events)."""
         self.registry.clear()
+        self._span_metrics.clear()
         self.spans.clear()
         self._stack.clear()
         self.ring.clear()

@@ -135,7 +135,8 @@ class Histogram:
         return (1 << (index - 1), 1 << index)
 
     def observe(self, value: int | float) -> None:
-        index = self.bucket_index(value)
+        # bucket_index inlined: this runs twice per span exit.
+        index = int(value).bit_length() if value >= 1 else 0
         self.counts[index] = self.counts.get(index, 0) + 1
         self.total += value
         self.count += 1

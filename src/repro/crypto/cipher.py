@@ -71,6 +71,8 @@ class Drbg:
     def __init__(self, seed: bytes | None = None) -> None:
         if seed is None:
             import os
+            # repro-lint: disable=SC001 -- entropy fallback only when the
+            # caller omits a seed; every simulated component passes one
             seed = os.urandom(32)
         self._state = sha256(b"drbg-init", seed)
         self._counter = 0

@@ -61,6 +61,8 @@ def lookup(bits: int, seed: bytes, e: int):
 
 def observe_miss(bits: int, seed: bytes, e: int, pair) -> None:
     """Record a freshly computed key pair when recording is enabled."""
+    # repro-lint: disable=SC001 -- record-mode knob: gates whether a key is
+    # *saved* to disk, never what the simulation computes or charges
     path = os.environ.get("REPRO_KEYCACHE_RECORD")
     if not path:
         return

@@ -88,6 +88,8 @@ def set_mode(value: int | str | None) -> int:
     """
     global MODE, np
     if value is None:
+        # repro-lint: disable=SC001 -- mode knob only: every mode charges
+        # identical cycles (CI fastpath-equivalence gate + SC004 parity)
         MODE = _parse(os.environ.get(_ENV))
     elif isinstance(value, str):
         MODE = _parse(value)

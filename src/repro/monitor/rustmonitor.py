@@ -175,7 +175,8 @@ class RustMonitor:
 
     # ------------------------------------------------------------------ boot --
 
-    # repro-lint: disable=R003 -- boot-time setup in monitor context, no guest
+    # repro-lint: disable=R003 -- boot-time key derivation before any guest
+    # exists; no hypercall round-trip to charge (staticcheck: charge-exempt)
     def initialize_keys(self, sealed_root_key: bytes | None = None) -> bytes:
         """Create or unseal K_root, derive the attestation key, extend the
         hapk into the TPM, and flood the boot PCRs (Sec 3.3).
@@ -197,7 +198,8 @@ class RustMonitor:
             tpm.extend(idx, FLOOD_DIGEST)
         return sealed
 
-    # repro-lint: disable=R003 -- one-shot boot transition, no guest to charge
+    # repro-lint: disable=R003 -- one-shot boot transition before any
+    # measured op sequence starts (staticcheck: charge-exempt)
     def demote_primary_os(self) -> None:
         """Drop the primary OS into the normal VM and arm DMA protection."""
         self.machine.iommu.enable()
@@ -267,7 +269,9 @@ class RustMonitor:
 
     # ----------------------------------------------------- normal VM policing --
 
-    # repro-lint: disable=R003 -- models the hardware NPT check; per-access hot path
+    # repro-lint: disable=R003 -- models the *hardware* NPT walk, free in
+    # the monitor's cycle model; the caller's memory touch pays the cost
+    # (staticcheck: charge-exempt)
     def check_normal_access(self, pa: int, length: int = 1) -> None:
         """R-1: normal-mode software may not touch reserved/enclave frames.
 
@@ -321,7 +325,6 @@ class RustMonitor:
                          content=content)
         self._sanitize_check("eadd", enclave_id)
 
-    # repro-lint: disable=R003 -- composite op; charges through the eadd it wraps
     def add_tcs(self, enclave_id: int, offset: int, entry_va: int) -> int:
         """Add a TCS page plus its SSA frames; returns the TCS index."""
         enclave = self._enclave(enclave_id)
@@ -403,8 +406,6 @@ class RustMonitor:
 
     # ----------------------------------------------------------- runtime ------
 
-    # repro-lint: disable=R003 -- #PF VM-exit, not a hypercall; cycles charged
-    # by the fault-path step lists (double-charging would break Table 2)
     def handle_enclave_page_fault(self, enclave_id: int, va: int, *,
                                   write: bool = False) -> None:
         """The monitor-owned page-fault path (Sec 3.2).
@@ -509,7 +510,8 @@ class RustMonitor:
 
     # ------------------------------------------------------- verification ------
 
-    # repro-lint: disable=R003 -- verification harness, not a guest hypercall
+    # repro-lint: disable=R003 -- verification harness outside the guest
+    # cycle model, never called on a measured path (staticcheck: charge-exempt)
     def audit_invariants(self) -> None:
         """Check the monitor's global security invariants.
 

@@ -32,15 +32,19 @@ from pathlib import Path
 
 ALL_RULES = ("R001", "R002", "R003", "R004", "R005")
 
+# Shared with repro.staticcheck: SC rules use the same pragma syntax.
 _DIRECTIVE = re.compile(
-    r"#\s*repro-lint:\s*disable=(?P<rules>R\d{3}(?:\s*,\s*R\d{3})*)"
+    r"#\s*repro-lint:\s*disable="
+    r"(?P<rules>(?:R|SC)\d{3}(?:\s*,\s*(?:R|SC)\d{3})*)"
     r"(?:\s*--\s*(?P<why>\S.*))?")
 
 # R001: wall-clock sources and nondeterministic randomness.
 _WALL_CLOCK = {("time", "time"), ("time", "time_ns"),
                ("time", "perf_counter"), ("time", "perf_counter_ns"),
                ("time", "monotonic"), ("time", "monotonic_ns"),
-               ("time", "process_time"),
+               ("time", "process_time"), ("time", "process_time_ns"),
+               ("time", "thread_time"), ("time", "thread_time_ns"),
+               ("time", "clock_gettime"), ("time", "clock_gettime_ns"),
                ("datetime", "now"), ("datetime", "utcnow"),
                ("datetime", "today")}
 _RANDOM_FUNCS = {"random", "randrange", "randint", "randbytes", "choice",
@@ -128,13 +132,54 @@ def _qualified(node: ast.AST) -> tuple[str, str] | None:
     return None
 
 
+def _import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Bound name -> dotted import target (``import time as t``,
+    ``from time import time as t``), so renamed imports still match."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.asname is not None:
+                    aliases[item.asname] = item.name
+        elif isinstance(node, ast.ImportFrom) \
+                and node.module and node.level == 0:
+            for item in node.names:
+                if item.name != "*":
+                    aliases[item.asname or item.name] = \
+                        f"{node.module}.{item.name}"
+    return aliases
+
+
+def _resolve_qual(node: ast.Call,
+                  aliases: dict[str, str]) -> tuple[str, str] | None:
+    """(module, attr) for a call, resolving through import aliases.
+
+    Handles ``tm.time()`` after ``import time as tm`` and the bare
+    ``t()`` after ``from time import time as t``.
+    """
+    qual = _qualified(node.func)
+    if qual is not None:
+        base, attr = qual
+        dotted = aliases.get(base)
+        if dotted is not None:
+            base = dotted.rpartition(".")[2] or dotted
+        return base, attr
+    if isinstance(node.func, ast.Name):
+        dotted = aliases.get(node.func.id)
+        if dotted is not None and "." in dotted:
+            mod, _, attr = dotted.rpartition(".")
+            return mod.rpartition(".")[2] or mod, attr
+    return None
+
+
 def check_r001(tree: ast.AST, path: str) -> list[Finding]:
     """Wall clocks and unseeded randomness in simulation code."""
     findings = []
+    aliases = _import_aliases(tree)
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
-        qual = _qualified(node.func)
+        qual = _resolve_qual(node, aliases)
         if qual is None:
             continue
         if qual in _WALL_CLOCK:
@@ -178,8 +223,47 @@ def check_r002(tree: ast.AST, path: str) -> list[Finding]:
     return findings
 
 
+_CHARGE_ATTRS = {"_charge_hypercall", "charge", "charge_steps"}
+
+
+def _charging_methods(cls: ast.ClassDef) -> set[str]:
+    """Methods that charge cycles, directly or through ``self.m()``
+    calls to other methods of the same class (fixpoint)."""
+    methods = {item.name: item for item in cls.body
+               if isinstance(item, ast.FunctionDef)}
+    direct: set[str] = set()
+    self_calls: dict[str, set[str]] = {}
+    for name, item in methods.items():
+        self_calls[name] = set()
+        for call in ast.walk(item):
+            if not (isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)):
+                continue
+            if call.func.attr in _CHARGE_ATTRS:
+                direct.add(name)
+            elif isinstance(call.func.value, ast.Name) \
+                    and call.func.value.id == "self" \
+                    and call.func.attr in methods:
+                self_calls[name].add(call.func.attr)
+    charging = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for name, callees in self_calls.items():
+            if name not in charging and callees & charging:
+                charging.add(name)
+                changed = True
+    return charging
+
+
 def check_r003(tree: ast.AST, path: str) -> list[Finding]:
-    """RustMonitor public entry points must charge the hypercall."""
+    """RustMonitor public entry points must charge cycles.
+
+    Interprocedural-lite: a method counts as charging if it reaches a
+    ``_charge_hypercall``/``charge``/``charge_steps`` call directly or
+    through ``self.<method>()`` calls within the class.  The fully
+    whole-program form of this rule is repro.staticcheck SC003.
+    """
     if not path.endswith("monitor/rustmonitor.py"):
         return []
     findings = []
@@ -187,6 +271,7 @@ def check_r003(tree: ast.AST, path: str) -> list[Finding]:
         if not (isinstance(node, ast.ClassDef)
                 and node.name == "RustMonitor"):
             continue
+        charging = _charging_methods(node)
         for item in node.body:
             if not isinstance(item, ast.FunctionDef):
                 continue
@@ -196,17 +281,12 @@ def check_r003(tree: ast.AST, path: str) -> list[Finding]:
                           if isinstance(d, ast.Name)}
             if "property" in decorators:
                 continue
-            charges = any(
-                isinstance(call, ast.Call)
-                and isinstance(call.func, ast.Attribute)
-                and call.func.attr == "_charge_hypercall"
-                for call in ast.walk(item))
-            if not charges:
+            if item.name not in charging:
                 findings.append(Finding(
                     "R003", path, item.lineno,
-                    f"public entry point {item.name}() never calls "
-                    f"self._charge_hypercall(); un-charged hypercalls "
-                    f"skew the cycle tables"))
+                    f"public entry point {item.name}() never charges "
+                    f"cycles (directly or via self-method calls); "
+                    f"un-charged hypercalls skew the cycle tables"))
     return findings
 
 

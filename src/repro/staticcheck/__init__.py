@@ -1,0 +1,57 @@
+"""Whole-program static verifier for the reproduction's core contracts.
+
+``repro-lint`` (:mod:`repro.sanitizer.rules`) checks one line at a time;
+the runtime sanitizer checks one *run* at a time.  This package closes
+the gap between them: a conservative whole-program analysis over
+``src/repro`` — real symbol table, import/alias resolution, class
+method dispatch — running three interprocedural passes:
+
+determinism (SC001/SC002)
+    No function reachable from cycle-charged code (the hw/monitor/osim
+    hot paths) may transitively reach a wall clock, unseeded randomness,
+    ``os.environ`` or an ``id()``-keyed value, except the sanctioned
+    ``repro.profiler.wall.host_clock_ns``.  Unordered-``set`` iteration
+    feeding charges or digests is flagged too.  Violations print the
+    full call chain from the charged root to the forbidden source.
+
+charge coverage (SC003/SC004/SC005)
+    Every configured public ``RustMonitor`` / hw entry point must reach
+    a ``_charge_hypercall`` / ``CycleCounter.charge`` /
+    ``Cpu.charge_steps`` site (the interprocedural form of repro-lint
+    R003), with uncharged exit paths reported separately; and the
+    legacy/fast branches behind :mod:`repro.hw.fastpath` dispatch must
+    statically charge identical category sets — the PR-6 equivalence
+    contract, checked without running an A/B sweep.
+
+boundary taint (SC006)
+    Values originating in the untrusted layers (``sdk``, ``apps``,
+    ``osim``) must flow through the marshalling/validation layers
+    (``edger8r``/EDL/uRTS/tRTS, ``repro.hw.memaccess``, or a public
+    ``RustMonitor`` hypercall) before reaching trusted monitor/hw
+    sinks such as raw physical memory, frame pools or page tables.
+
+Run it with ``python -m repro.staticcheck src/repro`` (text, JSON or
+SARIF output).  Findings are gated against a committed baseline so CI
+fails only on *new* violations, and suppression pragmas share the
+``# repro-lint: disable=SCnnn -- why`` syntax with repro-lint.  See
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.analyzer import analyze
+from repro.staticcheck.baseline import Baseline, BaselineDelta
+from repro.staticcheck.config import StaticcheckConfig, load_staticcheck_config
+from repro.staticcheck.findings import ALL_SC_RULES, StaticFinding
+from repro.staticcheck.project import Project
+
+__all__ = [
+    "ALL_SC_RULES",
+    "Baseline",
+    "BaselineDelta",
+    "Project",
+    "StaticFinding",
+    "StaticcheckConfig",
+    "analyze",
+    "load_staticcheck_config",
+]

@@ -1,0 +1,9 @@
+"""``python -m repro.staticcheck`` — run the whole-program verifier."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.staticcheck.cli import main
+
+sys.exit(main())

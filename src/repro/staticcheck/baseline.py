@@ -1,0 +1,103 @@
+"""Committed findings baseline with an exact two-sided gate.
+
+The baseline pins the *set* of accepted findings by line-number-free
+fingerprint.  The gate fails in both directions: a finding whose
+fingerprint is absent from the baseline is **new** (a regression), and
+a baseline entry no analysis result matches is **stale** (the debt was
+paid — the entry must be deleted so the baseline only ever shrinks).
+Line numbers are excluded from fingerprints so unrelated edits to a
+file never churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.staticcheck.findings import StaticFinding
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineDelta:
+    """Gate outcome: what is new, what is stale, what matched."""
+
+    new: list[StaticFinding] = field(default_factory=list)
+    stale: list[dict] = field(default_factory=list)
+    matched: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the analysis exactly matches the baseline."""
+        return not self.new and not self.stale
+
+
+class Baseline:
+    """A committed set of accepted findings, keyed by fingerprint."""
+
+    def __init__(self, entries: dict[str, dict] | None = None,
+                 path: Path | None = None) -> None:
+        self.entries = entries or {}
+        self.path = path
+
+    @classmethod
+    def load(cls, path: Path | None) -> "Baseline":
+        """Read a baseline file; a missing path means an empty baseline."""
+        if path is None or not path.is_file():
+            return cls(path=path)
+        data = json.loads(path.read_text())
+        entries = {item["fingerprint"]: item
+                   for item in data.get("findings", [])}
+        return cls(entries, path=path)
+
+    @classmethod
+    def from_findings(cls, findings: list[StaticFinding],
+                      path: Path | None = None) -> "Baseline":
+        """Build a baseline accepting every unsuppressed finding given."""
+        entries: dict[str, dict] = {}
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            entries[finding.fingerprint()] = {
+                "fingerprint": finding.fingerprint(),
+                "rule": finding.rule,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "sink": finding.sink,
+            }
+        return cls(entries, path=path)
+
+    def write(self, path: Path | None = None) -> Path:
+        """Serialize deterministically (sorted, stable keys)."""
+        target = path or self.path
+        if target is None:
+            raise ValueError("no baseline path to write to")
+        payload = {
+            "version": _VERSION,
+            "findings": sorted(
+                self.entries.values(),
+                key=lambda e: (e["path"], e["rule"], e["symbol"],
+                               e["sink"])),
+        }
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        return target
+
+    def delta(self, findings: list[StaticFinding]) -> BaselineDelta:
+        """Exact gate: new findings and stale entries both count."""
+        delta = BaselineDelta()
+        seen: set[str] = set()
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            fp = finding.fingerprint()
+            seen.add(fp)
+            if fp in self.entries:
+                delta.matched += 1
+            else:
+                delta.new.append(finding)
+        for fp, entry in sorted(self.entries.items()):
+            if fp not in seen:
+                delta.stale.append(entry)
+        return delta

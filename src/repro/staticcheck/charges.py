@@ -1,0 +1,354 @@
+"""SC003/SC004/SC005: interprocedural charge-coverage passes.
+
+SC003 is repro-lint R003 made whole-program: every configured public
+entry point (``RustMonitor`` hypercalls, the world-switch engine, the
+memory-subsystem hot methods) must *reach* a cycle-charge site —
+``_charge_hypercall``, ``CycleCounter.charge`` or ``Cpu.charge_steps``
+— through any chain of calls, not just in its own body.
+
+SC005 is the all-paths refinement: an entry point that does charge
+somewhere may still have an exit path that returns a real value without
+ever charging.  A lightweight path walk over the statement tree finds
+such exits; ``return <constant>`` guards (the zero-work early-outs) and
+``raise`` terminations are exempt, and a call to a function that itself
+charges on every path counts as charging.
+
+SC004 checks the PR-6 fastpath equivalence contract statically: inside
+any function that branches on :mod:`repro.hw.fastpath` state
+(``fastpath.MODE``, ``fastpath.enabled()``, a local bound to
+``fastpath.np``), the guarded fast branch and the surrounding legacy
+code must charge the *same set* of category expressions, transitively
+through their callees.  A drifted category set means the A/B paths
+could no longer be bit-identical — caught here without running either.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+
+from repro.staticcheck.callgraph import (CHARGE_ATTRS, CallSite,
+                                         FunctionFacts)
+from repro.staticcheck.config import StaticcheckConfig
+from repro.staticcheck.findings import StaticFinding
+from repro.staticcheck.project import FunctionInfo, Project, dotted_of
+from repro.staticcheck.reach import bfs_reachable, chain_to
+
+_FASTPATH_MODULE = "repro.hw.fastpath"
+
+_SKIP_METHODS = frozenset({
+    "__init__", "__repr__", "__len__", "__str__", "__post_init__"})
+
+
+def _entry_points(project: Project,
+                  config: StaticcheckConfig) -> list[FunctionInfo]:
+    entries = []
+    for qualname, info in project.functions.items():
+        if not info.is_public or info.is_property:
+            continue
+        if info.name in _SKIP_METHODS:
+            continue
+        if config.path_excluded(info.path):
+            continue
+        if any(fnmatch(qualname, pattern)
+               for pattern in config.charge_entry_points):
+            entries.append(info)
+    return entries
+
+
+def _exemption_for(info: FunctionInfo,
+                   config: StaticcheckConfig) -> str | None:
+    short = f"{info.class_name}.{info.name}" if info.class_name \
+        else info.name
+    for pattern, why in config.charge_exemptions.items():
+        if fnmatch(short, pattern) or fnmatch(info.qualname, pattern):
+            return why
+    return None
+
+
+def run(project: Project, facts: dict[str, FunctionFacts],
+        config: StaticcheckConfig) -> list[StaticFinding]:
+    """Run the charge-coverage passes; returns unsorted findings."""
+    findings: list[StaticFinding] = []
+    walker = _MustChargeIndex(project, facts)
+
+    for info in _entry_points(project, config):
+        if _exemption_for(info, config) is not None:
+            continue
+        parents = bfs_reachable([info.qualname], facts)
+        charge_holder = next(
+            (q for q in parents
+             if any(s.attr in CHARGE_ATTRS for s in facts[q].calls)),
+            None)
+        if charge_holder is None:
+            findings.append(StaticFinding(
+                rule="SC003", path=info.path, line=info.lineno,
+                symbol=info.qualname, sink="no-charge",
+                message=(f"public entry point {info.name}() reaches no "
+                         f"cycle-charge site through any call chain; "
+                         f"un-charged entry points silently skew every "
+                         f"cycle table"),
+                chain=[info.qualname]))
+            continue
+        for line, expr in walker.uncharged_exits(info.qualname):
+            findings.append(StaticFinding(
+                rule="SC005", path=info.path, line=line,
+                symbol=info.qualname, sink=f"return {expr}",
+                message=(f"{info.name}() charges on some paths (e.g. via "
+                         f"{' -> '.join(chain_to(parents, charge_holder))})"
+                         f" but the exit at line {line} returns "
+                         f"{expr!r} without charging"),
+                chain=[info.qualname]))
+
+    findings.extend(_fastpath_parity(project, facts, config))
+    return findings
+
+
+# ---------------------------------------------------------- must-charge ----
+
+
+class _MustChargeIndex:
+    """Memoized all-paths charge analysis over the statement tree."""
+
+    def __init__(self, project: Project,
+                 facts: dict[str, FunctionFacts]) -> None:
+        self.project = project
+        self.facts = facts
+        self._memo: dict[str, bool] = {}
+        self._stack: set[str] = set()
+
+    # -- public API -----------------------------------------------------------
+
+    def must_charge(self, qualname: str) -> bool:
+        """True when every execution of ``qualname`` charges cycles
+        (guard returns of constants and raises excepted)."""
+        if qualname in self._memo:
+            return self._memo[qualname]
+        if qualname in self._stack:
+            return False              # recursion: conservative
+        info = self.project.functions.get(qualname)
+        if info is None:
+            return False
+        self._stack.add(qualname)
+        try:
+            exits, charged_end, terminal = self._walk(
+                info.node.body, False, qualname)
+            result = not exits and (charged_end or terminal)
+            self._memo[qualname] = result
+        finally:
+            self._stack.discard(qualname)
+        return result
+
+    def uncharged_exits(self, qualname: str) -> list[tuple[int, str]]:
+        """(line, returned-expr) for every non-guard uncharged return."""
+        info = self.project.functions.get(qualname)
+        if info is None:
+            return []
+        exits, _, _ = self._walk(info.node.body, False, qualname)
+        return exits
+
+    # -- the walk -------------------------------------------------------------
+
+    def _charging_span(self, expr: ast.AST | None, qualname: str) -> bool:
+        """Does evaluating ``expr`` unconditionally charge?"""
+        if expr is None:
+            return False
+        start = getattr(expr, "lineno", None)
+        end = getattr(expr, "end_lineno", start)
+        if start is None:
+            return False
+        for site in self.facts[qualname].calls:
+            if not (start <= site.line <= (end or start)):
+                continue
+            if site.attr in CHARGE_ATTRS:
+                return True
+            if site.callee is not None and self.must_charge(site.callee):
+                return True
+        return False
+
+    def _charging_stmt(self, stmt: ast.stmt, qualname: str) -> bool:
+        return self._charging_span(stmt, qualname)
+
+    def _walk(self, stmts: list[ast.stmt], charged: bool,
+              qualname: str) -> tuple[list[tuple[int, str]], bool, bool]:
+        """Walk a statement list.
+
+        Returns ``(uncharged_exits, charged_at_fallthrough, terminal)``
+        where *terminal* means every path through the list ends in a
+        ``return``/``raise`` (there is no fall-through).
+        """
+        exits: list[tuple[int, str]] = []
+        for stmt in stmts:
+            if isinstance(stmt, ast.Return):
+                if not charged and not self._charging_span(
+                        stmt.value, qualname):
+                    if stmt.value is not None and not isinstance(
+                            stmt.value, ast.Constant):
+                        exits.append((stmt.lineno,
+                                      ast.unparse(stmt.value)))
+                return exits, charged, True
+            if isinstance(stmt, ast.Raise):
+                return exits, charged, True
+            if isinstance(stmt, ast.If):
+                if self._charging_span(stmt.test, qualname):
+                    charged = True
+                body_exits, body_charged, body_term = self._walk(
+                    stmt.body, charged, qualname)
+                else_exits, else_charged, else_term = self._walk(
+                    stmt.orelse, charged, qualname)
+                exits.extend(body_exits)
+                exits.extend(else_exits)
+                if body_term and else_term and stmt.orelse:
+                    return exits, charged, True
+                live = []
+                if not body_term:
+                    live.append(body_charged)
+                if not else_term:
+                    live.append(else_charged)
+                charged = bool(live) and all(live)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if self._charging_span(item.context_expr, qualname):
+                        charged = True
+                body_exits, charged, body_term = self._walk(
+                    stmt.body, charged, qualname)
+                exits.extend(body_exits)
+                if body_term:
+                    return exits, charged, True
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                # Loops may run zero times: collect exits from the body
+                # but never let its charges count for the fall-through.
+                body_exits, _, _ = self._walk(stmt.body, charged,
+                                              qualname)
+                exits.extend(body_exits)
+                else_exits, charged, _ = self._walk(stmt.orelse, charged,
+                                                    qualname)
+                exits.extend(else_exits)
+            elif isinstance(stmt, ast.Try):
+                body_exits, body_charged, _ = self._walk(
+                    stmt.body, charged, qualname)
+                exits.extend(body_exits)
+                for handler in stmt.handlers:
+                    handler_exits, _, _ = self._walk(
+                        handler.body, charged, qualname)
+                    exits.extend(handler_exits)
+                final_exits, final_charged, _ = self._walk(
+                    stmt.finalbody, body_charged, qualname)
+                exits.extend(final_exits)
+                charged = final_charged if stmt.finalbody else body_charged
+            else:
+                if self._charging_stmt(stmt, qualname):
+                    charged = True
+        return exits, charged, False
+
+
+# ------------------------------------------------------- fastpath parity ----
+
+
+def _fastpath_test(expr: ast.AST, aliases: dict[str, str],
+                   local: dict[str, str]) -> bool:
+    """Does this ``if`` test read :mod:`repro.hw.fastpath` state?"""
+    for node in ast.walk(expr):
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = dotted_of(node, aliases, local)
+            if dotted is not None and dotted.startswith(
+                    _FASTPATH_MODULE + "."):
+                return True
+    return False
+
+
+class _CategoryIndex:
+    """Memoized transitive charge-category sets per function."""
+
+    def __init__(self, facts: dict[str, FunctionFacts]) -> None:
+        self.facts = facts
+        self._memo: dict[str, frozenset[str]] = {}
+        self._stack: set[str] = set()
+
+    def categories(self, qualname: str) -> frozenset[str]:
+        """Every category expression ``qualname`` may charge under."""
+        if qualname in self._memo:
+            return self._memo[qualname]
+        if qualname in self._stack or qualname not in self.facts:
+            return frozenset()
+        self._stack.add(qualname)
+        try:
+            out = {c.category for c in self.facts[qualname].charges}
+            for site in self.facts[qualname].calls:
+                if site.callee is not None:
+                    out |= self.categories(site.callee)
+            result = frozenset(out)
+            self._memo[qualname] = result
+        finally:
+            self._stack.discard(qualname)
+        return result
+
+    def span_categories(self, qualname: str, start: int,
+                        end: int) -> frozenset[str]:
+        """Categories charged by the calls inside a line span."""
+        out: set[str] = set()
+        fn_facts = self.facts[qualname]
+        for charge in fn_facts.charges:
+            if start <= charge.line <= end:
+                out.add(charge.category)
+        for site in fn_facts.calls:
+            if start <= site.line <= end and site.callee is not None:
+                out |= self.categories(site.callee)
+        return frozenset(out)
+
+
+def _span(nodes: list[ast.stmt]) -> tuple[int, int]:
+    start = min(n.lineno for n in nodes)
+    end = max(getattr(n, "end_lineno", n.lineno) or n.lineno
+              for n in nodes)
+    return start, end
+
+
+def _fastpath_parity(project: Project, facts: dict[str, FunctionFacts],
+                     config: StaticcheckConfig) -> list[StaticFinding]:
+    """SC004: guarded fast branches must charge identical category sets."""
+    findings: list[StaticFinding] = []
+    index = _CategoryIndex(facts)
+    from repro.staticcheck.callgraph import _local_aliases
+
+    for qualname, info in project.functions.items():
+        if config.path_excluded(info.path):
+            continue
+        if _FASTPATH_MODULE.replace(".", "/") + ".py" in info.path:
+            continue                  # the switch itself is exempt
+        module = project.modules[info.module_name]
+        local = _local_aliases(info.node, module)
+        fn_span = (info.node.body[0].lineno,
+                   getattr(info.node, "end_lineno", info.lineno)
+                   or info.lineno)
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.If) or not _fastpath_test(
+                    node.test, module.aliases, local):
+                continue
+            fast_start, fast_end = _span(node.body)
+            fast = index.span_categories(qualname, fast_start, fast_end)
+            if node.orelse:
+                legacy_start, legacy_end = _span(node.orelse)
+                legacy = index.span_categories(qualname, legacy_start,
+                                               legacy_end)
+            else:
+                # Early-return idiom: legacy is the rest of the function.
+                whole = index.span_categories(qualname, *fn_span)
+                outside = index.span_categories(
+                    qualname, fn_span[0], node.lineno - 1) \
+                    | index.span_categories(qualname, fast_end + 1,
+                                            fn_span[1])
+                legacy = frozenset(outside) or whole - fast
+            if fast == legacy:
+                continue
+            findings.append(StaticFinding(
+                rule="SC004", path=info.path, line=node.lineno,
+                symbol=qualname,
+                sink="|".join(sorted(fast ^ legacy)),
+                message=(f"fastpath branch at line {node.lineno} charges "
+                         f"categories {sorted(fast) or '[]'} but the "
+                         f"legacy path charges {sorted(legacy) or '[]'}; "
+                         f"the A/B equivalence contract requires "
+                         f"identical category sets"),
+                chain=[qualname]))
+    return findings

@@ -1,0 +1,1 @@
+"""Tests for the whole-program static verifier (repro.staticcheck)."""

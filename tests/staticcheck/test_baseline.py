@@ -1,0 +1,69 @@
+"""Baseline semantics: exact two-sided gate, stable fingerprints."""
+
+from __future__ import annotations
+
+import json
+
+from repro.staticcheck.baseline import Baseline
+from repro.staticcheck.findings import StaticFinding
+
+
+def finding(rule="SC001", path="src/repro/hw/x.py", line=10,
+            symbol="repro.hw.x:f", sink="time.time") -> StaticFinding:
+    """A fabricated finding for gate tests."""
+    return StaticFinding(rule=rule, path=path, line=line, symbol=symbol,
+                         message="m", chain=[symbol, sink], sink=sink)
+
+
+class TestFingerprint:
+    def test_line_number_does_not_change_fingerprint(self):
+        assert finding(line=10).fingerprint() == \
+            finding(line=99).fingerprint()
+
+    def test_rule_and_sink_do_change_it(self):
+        base = finding().fingerprint()
+        assert finding(rule="SC003").fingerprint() != base
+        assert finding(sink="os.urandom").fingerprint() != base
+
+
+class TestGate:
+    def test_empty_baseline_makes_every_finding_new(self):
+        delta = Baseline().delta([finding()])
+        assert len(delta.new) == 1
+        assert not delta.clean
+
+    def test_matched_finding_is_clean(self, tmp_path):
+        path = tmp_path / "bl.json"
+        Baseline.from_findings([finding()], path).write()
+        delta = Baseline.load(path).delta([finding(line=42)])
+        assert delta.clean
+        assert delta.matched == 1
+
+    def test_stale_entry_fails_the_gate(self, tmp_path):
+        path = tmp_path / "bl.json"
+        Baseline.from_findings([finding(), finding(rule="SC003")],
+                               path).write()
+        delta = Baseline.load(path).delta([finding()])
+        assert not delta.clean
+        assert len(delta.stale) == 1
+        assert delta.stale[0]["rule"] == "SC003"
+
+    def test_suppressed_findings_do_not_enter_the_baseline(self, tmp_path):
+        waived = finding()
+        waived.suppressed = True
+        path = tmp_path / "bl.json"
+        Baseline.from_findings([waived], path).write()
+        assert Baseline.load(path).entries == {}
+
+    def test_write_is_deterministic_and_sorted(self, tmp_path):
+        a, b = finding(), finding(rule="SC006", sink="phys.write")
+        p1, p2 = tmp_path / "1.json", tmp_path / "2.json"
+        Baseline.from_findings([a, b], p1).write()
+        Baseline.from_findings([b, a], p2).write()
+        assert p1.read_text() == p2.read_text()
+        data = json.loads(p1.read_text())
+        assert data["version"] == 1
+        assert len(data["findings"]) == 2
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").entries == {}

@@ -22,7 +22,7 @@ import sys
 from repro.bench.artifact import artifact_path, load_artifact
 from repro.bench.compare import compare_artifacts, compare_report
 from repro.bench.registry import REGISTRY, resolve
-from repro.bench.report import report_all
+from repro.bench.report import report_all, report_all_markdown
 from repro.bench.runner import (DEFAULT_BASELINE_DIR, DEFAULT_RESULTS_PATH,
                                 check_benches, run_benches)
 
@@ -45,6 +45,14 @@ def _add_selection(parser) -> None:
                         help="record each run's flight-recorder journal "
                              "here (replayable with `python -m "
                              "repro.flightrec replay`)")
+    parser.add_argument("--timeline", type=int, nargs="?",
+                        const=250_000, default=None, metavar="CYCLES",
+                        dest="timeline_interval",
+                        help="sample a cycle-domain timeline every CYCLES "
+                             "simulated cycles (default 250000); adds an "
+                             "informational `timeline` block to the "
+                             "artifact and, with --artifacts, a "
+                             "<name>.timeline.json side file")
 
 
 def _cmd_list(args) -> int:
@@ -63,7 +71,8 @@ def _cmd_run(args) -> int:
                 artifacts_dir=args.artifacts,
                 results_path=results_path,
                 profile=not args.no_profile,
-                record_dir=args.record_dir)
+                record_dir=args.record_dir,
+                timeline_interval=args.timeline_interval)
     print(f"wrote {len(specs)} baseline artifact(s) to "
           f"{args.baseline_dir}")
     return 0
@@ -74,7 +83,8 @@ def _cmd_check(args) -> int:
     results = check_benches(specs, baseline_dir=args.baseline_dir,
                             artifacts_dir=args.artifacts,
                             profile=not args.no_profile,
-                            record_dir=args.record_dir)
+                            record_dir=args.record_dir,
+                            timeline_interval=args.timeline_interval)
     if args.json:
         print(json.dumps([r.as_dict() for r in results], indent=2))
     else:
@@ -101,7 +111,10 @@ def _cmd_report(args) -> int:
         print(f"no artifacts found under {args.baseline_dir}",
               file=sys.stderr)
         return 2
-    print(report_all(artifacts))
+    if args.format == "markdown":
+        print(report_all_markdown(artifacts))
+    else:
+        print(report_all(artifacts))
     return 0
 
 
@@ -164,6 +177,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--baseline-dir", default=str(DEFAULT_BASELINE_DIR),
                    metavar="DIR",
                    help="where BENCH_<name>.json baselines live")
+    p.add_argument("--format", choices=("text", "markdown"),
+                   default="text",
+                   help="digest format (markdown emits GitHub-flavored "
+                        "tables)")
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("diff", help="compare two BENCH_*.json artifacts")

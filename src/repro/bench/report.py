@@ -6,6 +6,9 @@ time went), the per-enclave latency percentile table (p50/p95/p99 in
 simulated cycles, Stress-SGX-style), and the cycle digest.  It reads
 committed baselines by default, so "how fast is the simulator on the
 gate set" is one command with no benchmark run.
+
+``--format markdown`` renders the same digests as GitHub-flavored
+markdown tables, ready to paste into a PR description or job summary.
 """
 
 from __future__ import annotations
@@ -80,3 +83,78 @@ def artifact_report(artifact: dict) -> str:
 def report_all(artifacts: list[dict]) -> str:
     """Digest every artifact, blank-line separated."""
     return "\n\n".join(artifact_report(a) for a in artifacts)
+
+
+def _md_table(header: list[str], rows: list[list[str]]) -> list[str]:
+    out = ["| " + " | ".join(header) + " |",
+           "| " + " | ".join("---" for _ in header) + " |"]
+    out.extend("| " + " | ".join(row) + " |" for row in rows)
+    return out
+
+
+def throughput_section_markdown(artifact: dict) -> list[str]:
+    """Markdown twin of :func:`throughput_section`."""
+    throughput = artifact.get("throughput")
+    if not throughput:
+        return ["_throughput: not recorded (artifact predates the "
+                "throughput gate; regenerate with `python -m repro.bench "
+                "run`)_"]
+    rate = throughput["sim_cycles_per_wall_second"]
+    out = [f"**Throughput:** {rate:,.0f} simulated cycles / wall-second "
+           f"({throughput['sim_cycles']:,.0f} cycles in "
+           f"{throughput['wall_seconds']:.3f} s); gate fails below "
+           f"{(1 - throughput['tolerance']):.0%} of baseline "
+           f"(slowdowns only).", ""]
+    shares = throughput.get("wall_share_by_subsystem") or {}
+    if shares:
+        rows = [[sub,
+                 f"{throughput['wall_ns_by_subsystem'].get(sub, 0) / 1e6:,.2f}",
+                 f"{share:.1%}"]
+                for sub, share in sorted(shares.items(),
+                                         key=lambda kv: -kv[1])]
+        out.extend(_md_table(["subsystem", "wall ms", "share"], rows))
+    return out
+
+
+def latency_section_markdown(artifact: dict) -> list[str]:
+    """Markdown twin of :func:`latency_section`."""
+    latency = artifact.get("latency")
+    if not latency:
+        return ["_latency: no per-enclave span histograms recorded_"]
+    rows = []
+    for machine, enclaves in sorted(latency.items()):
+        for enclave, spans in sorted(enclaves.items()):
+            for span, row in sorted(spans.items()):
+                rows.append([machine, str(enclave), span,
+                             str(row["count"]),
+                             _fmt_cycles(row.get("p50")),
+                             _fmt_cycles(row.get("p95")),
+                             _fmt_cycles(row.get("p99"))])
+    out = ["**Per-enclave latency (simulated cycles):**", ""]
+    out.extend(_md_table(
+        ["machine", "enclave", "span", "count", "p50", "p95", "p99"], rows))
+    return out
+
+
+def artifact_report_markdown(artifact: dict) -> str:
+    """The full GitHub-flavored-markdown digest of one artifact."""
+    out = [f"### {artifact['name']} — {artifact['title']} "
+           f"[{artifact['bench_kind']}]",
+           "",
+           f"artifact_version {artifact.get('artifact_version', 1)}, "
+           f"{len(artifact['metrics'])} gated metric(s), "
+           f"tolerance {artifact['tolerance']:.1%}"]
+    telemetry = artifact.get("telemetry")
+    if telemetry:
+        out.append(f"simulated cycles: {telemetry['total_cycles']:,.0f} "
+                   f"across {telemetry['machines']} machine(s)")
+    out.append("")
+    out.extend(throughput_section_markdown(artifact))
+    out.append("")
+    out.extend(latency_section_markdown(artifact))
+    return "\n".join(out)
+
+
+def report_all_markdown(artifacts: list[dict]) -> str:
+    """Markdown digest of every artifact, blank-line separated."""
+    return "\n\n".join(artifact_report_markdown(a) for a in artifacts)

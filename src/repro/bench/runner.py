@@ -66,7 +66,8 @@ class RunOutput:
 
 def run_one(spec: BenchSpec, *, profile: bool = True,
             artifacts_dir: str | pathlib.Path | None = None,
-            record_dir: str | pathlib.Path | None = None) -> RunOutput:
+            record_dir: str | pathlib.Path | None = None,
+            timeline_interval: int | None = None) -> RunOutput:
     """Run one benchmark under a fresh telemetry sink; build its artifact.
 
     When ``artifacts_dir`` is given, the side artifacts land there:
@@ -80,6 +81,12 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
     run and its journal lands at ``<record_dir>/<name>.journal.json`` —
     replayable with ``python -m repro.flightrec replay``.  Recording is
     a pure observer, so the artifact's figures are unchanged.
+
+    When ``timeline_interval`` is given, every machine gets a
+    cycle-domain timeline sampler at that cadence; the artifact gains an
+    informational ``timeline`` block (never gated) and, with
+    ``artifacts_dir``, a ``<name>.timeline.json`` side file.  Sampling
+    is a pure observer too: figures and fingerprints are unchanged.
     """
     from repro.flightrec import forensics
     from repro.flightrec import recorder as flightrec_recorder
@@ -91,7 +98,7 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
     rec = None
     journal_path = None
     slowdown = _injected_slowdown()
-    with telemetry_sink.capture() as sink:
+    with telemetry_sink.capture(timeline_interval) as sink:
         if record_dir is not None:
             rec = flightrec_recorder.FlightRecorder(f"bench:{spec.name}")
             flightrec_recorder.activate(rec)
@@ -128,9 +135,12 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
     telemetry_doc = sink.document() if sink.items else None
     profile_doc = profile_document(sink.items) \
         if profile and sink.items else None
+    timeline_doc = sink.timeline_document() \
+        if timeline_interval is not None else None
     artifact = build_artifact(spec, figures, telemetry_doc, profile_doc,
                               fingerprints, wall_seconds=wall_seconds,
-                              bare_cycles=bare_cycles)
+                              bare_cycles=bare_cycles,
+                              timeline_doc=timeline_doc)
 
     written: list[pathlib.Path] = []
     if artifacts_dir is not None:
@@ -139,6 +149,11 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
         if sink.items:
             written.extend(
                 sink.write(artifacts_dir / f"{spec.name}.telemetry.json"))
+        if timeline_doc is not None:
+            from repro.telemetry.timeline import write_timeline
+            timeline_path = artifacts_dir / f"{spec.name}.timeline.json"
+            write_timeline(timeline_path, timeline_doc)
+            written.append(timeline_path)
         if profile_doc is not None:
             profile_path = artifacts_dir / f"{spec.name}.profile.json"
             profile_path.write_text(
@@ -183,13 +198,15 @@ def run_benches(specs: list[BenchSpec], *,
                 DEFAULT_RESULTS_PATH,
                 profile: bool = True,
                 record_dir: str | pathlib.Path | None = None,
+                timeline_interval: int | None = None,
                 log=print) -> list[RunOutput]:
     """Run every spec, writing ``BENCH_<name>.json`` baselines."""
     outputs = []
     for spec in specs:
         log(f"running {spec.name} ({spec.title}) ...")
         output = run_one(spec, profile=profile, artifacts_dir=artifacts_dir,
-                         record_dir=record_dir)
+                         record_dir=record_dir,
+                         timeline_interval=timeline_interval)
         path = write_artifact(
             artifact_path(baseline_dir, spec.name), output.artifact)
         output.written.insert(0, path)
@@ -207,6 +224,7 @@ def check_benches(specs: list[BenchSpec], *,
                   artifacts_dir: str | pathlib.Path | None = None,
                   profile: bool = True,
                   record_dir: str | pathlib.Path | None = None,
+                  timeline_interval: int | None = None,
                   log=print) -> list[CompareResult]:
     """Re-run every spec and gate it against its committed baseline.
 
@@ -229,7 +247,8 @@ def check_benches(specs: list[BenchSpec], *,
         log(f"checking {spec.name} against {base_path} ...")
         baseline = load_artifact(base_path)
         output = run_one(spec, profile=profile, artifacts_dir=artifacts_dir,
-                         record_dir=record_dir)
+                         record_dir=record_dir,
+                         timeline_interval=timeline_interval)
         results.append(compare_artifacts(baseline, output.artifact))
     return results
 

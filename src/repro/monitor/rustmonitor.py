@@ -98,16 +98,28 @@ class RustMonitor:
         self._attestation_key: RsaKeyPair | None = None
         self.os_demoted = False
         self.hypercalls = 0
+        self.tlb_shootdowns = 0
         # Page-swap machinery: the backing store lives in untrusted
         # normal memory (the OS provides it); the per-enclave swap state
         # (keys, versions) stays in monitor memory.
         self.swap_store = UntrustedSwapStore()
         self._swap_states: dict[int, EnclaveSwapState] = {}
+        # (victim_enclave_id, aggressor_enclave_id) -> frames reclaimed
+        # under pool pressure.  Observability bookkeeping only: kept out
+        # of _state_for_hash so attaching a timeline never moves the
+        # state-hash baselines.
+        self.epc_steals: dict[tuple[int, int], int] = {}
 
         # Fold monitor state into Machine.state_hash() checkpoints, and
         # give forensic bundles a deep page-table dump on demand.
         machine.state_providers["monitor"] = self._state_for_hash
         machine.dump_providers["monitor"] = self._state_dump
+
+        # A cycle-domain timeline sampler attached before monitor boot
+        # gets the EPC/swap/world series registered here.
+        if machine.telemetry.timeline is not None:
+            from repro.telemetry.timeline import register_monitor_probes
+            register_monitor_probes(machine.telemetry.timeline, self)
 
     def _state_for_hash(self) -> dict:
         """Monitor-owned state for ``Machine.state_fingerprint()``.
@@ -255,6 +267,7 @@ class RustMonitor:
         table win the GC scenario).
         """
         self.machine.tlb.invlpg(enclave_id, page_va)
+        self.tlb_shootdowns += 1
         remote = self.machine.config.num_cpus - 1
         if remote > 0:
             self.machine.cycles.charge(
@@ -609,8 +622,13 @@ class RustMonitor:
             evicted += 1
         return evicted
 
-    def _reclaim_one_page(self) -> bool:
-        """Pool pressure: evict a REG page from the fullest enclave."""
+    def _reclaim_one_page(self, for_enclave: int) -> bool:
+        """Pool pressure: evict a REG page from the fullest enclave.
+
+        ``for_enclave`` is the allocation that triggered the reclaim;
+        the (victim, aggressor) pair feeds the per-tenant steal
+        attribution in the timeline telemetry.
+        """
         candidates = [e for e in self.enclaves.values()
                       if e.state is EnclaveState.INITIALIZED]
         for enclave in sorted(candidates, key=lambda e: -len(e.pages)):
@@ -621,6 +639,11 @@ class RustMonitor:
                         page_va not in state.records:
                     swap_out_page(self, enclave, state, self.swap_store,
                                   page_va)
+                    pair = (enclave.enclave_id, for_enclave)
+                    self.epc_steals[pair] = self.epc_steals.get(pair, 0) + 1
+                    self.machine.telemetry.count(
+                        "monitor", "epc.frames_stolen",
+                        victim=enclave.enclave_id, aggressor=for_enclave)
                     return True
         return False
 
@@ -630,7 +653,7 @@ class RustMonitor:
         try:
             return self.epc_pool.alloc(enclave_owner(enclave_id))
         except PhysicalMemoryError:
-            if not self._reclaim_one_page():
+            if not self._reclaim_one_page(enclave_id):
                 raise
             return self.epc_pool.alloc(enclave_owner(enclave_id))
 

@@ -130,7 +130,7 @@ def swap_out_page(monitor, enclave, state: EnclaveSwapState,
         san = monitor.machine.sanitizer
         if san is not None:
             san.on_swap_out(enclave, page_va, version, page.pa)
-    tel.count("monitor", "swap.pages_out")
+    tel.count("monitor", "swap.pages_out", enclave=enclave.enclave_id)
     return token
 
 
@@ -165,4 +165,4 @@ def swap_in_page(monitor, enclave, state: EnclaveSwapState,
         san = monitor.machine.sanitizer
         if san is not None:
             san.on_swap_in(enclave, page_va, record.version, pa)
-    tel.count("monitor", "swap.pages_in")
+    tel.count("monitor", "swap.pages_in", enclave=enclave.enclave_id)

@@ -1,0 +1,110 @@
+"""The telemetry CLI: ``python -m repro.telemetry timeline ...``.
+
+Operates on timeline JSON documents — written directly by
+:func:`repro.telemetry.timeline.write_timeline`, or embedded as the
+``timeline`` block of a bench artifact (``python -m repro.bench run
+--timeline``); both are accepted everywhere a path is.
+
+    timeline report   EPC_PRESSURE.json          # text digest
+    timeline episodes EPC_PRESSURE.json --min 1  # exit 1 below --min
+    timeline html     EPC_PRESSURE.json -o report.html
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.telemetry.schema import SchemaError
+from repro.telemetry.timeline import (DEFAULT_EPISODE_THRESHOLD,
+                                      detect_episodes, load_timeline,
+                                      render_html, timeline_report)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("document", help="timeline JSON or bench artifact")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_EPISODE_THRESHOLD,
+                        help="episode trigger: pages swapped out per "
+                             "interval (default %(default)s)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="inspect cycle-domain timeline telemetry")
+    commands = parser.add_subparsers(dest="command", required=True)
+    timeline = commands.add_parser(
+        "timeline", help="report on a sampled timeline")
+    actions = timeline.add_subparsers(dest="action", required=True)
+
+    report = actions.add_parser("report", help="plain-text digest")
+    _add_common(report)
+
+    episodes = actions.add_parser(
+        "episodes", help="list pressure episodes (exit 1 below --min)")
+    _add_common(episodes)
+    episodes.add_argument("--min", type=int, default=0, dest="minimum",
+                          help="fail unless at least this many episodes "
+                               "were detected (default %(default)s)")
+
+    html = actions.add_parser("html", help="static HTML report")
+    _add_common(html)
+    html.add_argument("-o", "--output", default=None,
+                      help="output path (default: input stem + .html)")
+    return parser
+
+
+def _cmd_report(args) -> int:
+    print(timeline_report(load_timeline(args.document),
+                          threshold=args.threshold))
+    return 0
+
+
+def _cmd_episodes(args) -> int:
+    document = load_timeline(args.document)
+    found = 0
+    for timeline in document["timelines"]:
+        for ep in detect_episodes(timeline, threshold=args.threshold):
+            found += 1
+            print(f"[{timeline['label']}] cycle {ep['start_cycle']:,} .. "
+                  f"{ep['end_cycle']:,}: {ep['pages']:g} pages over "
+                  f"{ep['intervals']} interval(s), depth {ep['depth']:g}, "
+                  f"victim={ep['victim']} aggressor={ep['aggressor']}")
+    print(f"{found} episode(s) at threshold {args.threshold:g}")
+    if found < args.minimum:
+        print(f"FAIL: expected at least {args.minimum}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_html(args) -> int:
+    document = load_timeline(args.document)
+    output = args.output
+    if output is None:
+        source = pathlib.Path(args.document)
+        output = source.with_name(source.stem + ".html")
+    pathlib.Path(output).write_text(
+        render_html(document, threshold=args.threshold), encoding="utf-8")
+    print(f"wrote {output}")
+    return 0
+
+
+_ACTIONS = {"report": _cmd_report, "episodes": _cmd_episodes,
+            "html": _cmd_html}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _ACTIONS[args.action](args)
+    except (OSError, json.JSONDecodeError, SchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.hw.trace import TraceBuffer
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.metrics import MetricsRegistry, _label_key
 
 # -- cycle-category -> subsystem attribution ---------------------------------
 #
@@ -197,7 +197,7 @@ class Span:
         # span overhead, so the resolved cells are memoized on the
         # Telemetry (cleared alongside the registry in reset()).
         key = (self.name if not labels
-               else (self.name, tuple(sorted(labels.items()))))
+               else (self.name, _label_key(labels)))
         metrics = tel._span_metrics.get(key)
         if metrics is None:
             subsystem, _, short = self.name.partition(".")
@@ -253,6 +253,9 @@ class Telemetry:
         # (name[, sorted-labels]) -> the 7 metric cells a span feeds on
         # exit; see Span.__exit__.
         self._span_metrics: dict = {}
+        # Cycle-domain timeline sampler (repro.telemetry.timeline);
+        # attached by the sink or attach_machine, None when off.
+        self.timeline = None
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -197,6 +197,12 @@ def chrome_trace_events(telemetry: Telemetry, *, pid: int = 1,
             "tid": tid,
             "args": args,
         })
+    # A machine with an attached timeline sampler contributes Perfetto
+    # counter tracks on the same cycle timebase.
+    sampler = getattr(telemetry, "timeline", None)
+    if sampler is not None and sampler.samples:
+        from repro.telemetry.timeline import timeline_counter_events
+        events.extend(timeline_counter_events(sampler.document(), pid=pid))
     return events
 
 

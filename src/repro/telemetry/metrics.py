@@ -62,7 +62,9 @@ def percentile_from_buckets(buckets: Iterable[Iterable[float]],
 
 
 def _label_key(labels: dict[str, object]) -> tuple[tuple[str, object], ...]:
-    return tuple(sorted(labels.items()))
+    # Sort by key name only: label *values* may mix types (enclave_id=3
+    # vs enclave_id="boot"), and comparing those would raise TypeError.
+    return tuple(sorted(labels.items(), key=lambda kv: kv[0]))
 
 
 class Counter:

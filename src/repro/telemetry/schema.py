@@ -112,18 +112,82 @@ def validate_snapshot(document) -> None:
              f"sums to {subtotal}, more than 1% off total {total}")
 
 
+def _check_sample(sample, where: str, previous_cycle) -> None:
+    _require(isinstance(sample, dict), where, "expected an object")
+    _check_number(sample.get("cycle"), f"{where}.cycle")
+    if previous_cycle is not None:
+        _require(sample["cycle"] > previous_cycle, f"{where}.cycle",
+                 f"cycles must be strictly increasing "
+                 f"({sample['cycle']} after {previous_cycle})")
+    _check_cycle_map(sample.get("series"), f"{where}.series")
+    tenants = sample.get("tenants")
+    _require(isinstance(tenants, dict), where, "missing tenants object")
+    for name, values in tenants.items():
+        _require(isinstance(name, str), f"{where}.tenants",
+                 f"non-string series name {name!r}")
+        _check_cycle_map(values, f"{where}.tenants.{name}")
+
+
+def _check_timeline(timeline, where: str) -> None:
+    _require(isinstance(timeline, dict), where, "expected an object")
+    _require(isinstance(timeline.get("label"), str), where, "missing label")
+    _check_number(timeline.get("interval"), f"{where}.interval")
+    _require(timeline["interval"] > 0, f"{where}.interval",
+             f"interval must be positive, got {timeline['interval']!r}")
+    tenants = timeline.get("tenants")
+    _require(isinstance(tenants, dict), where, "missing tenants object")
+    for key, name in tenants.items():
+        _require(isinstance(key, str) and isinstance(name, str),
+                 f"{where}.tenants", f"expected str -> str, got "
+                 f"{key!r}: {name!r}")
+    samples = timeline.get("samples")
+    _require(isinstance(samples, list), where, "missing samples list")
+    previous = None
+    for i, sample in enumerate(samples):
+        _check_sample(sample, f"{where}.samples[{i}]", previous)
+        previous = sample["cycle"]
+
+
+def validate_timeline(document) -> None:
+    """Raise :class:`SchemaError` unless ``document`` is a valid timeline
+    document (:func:`repro.telemetry.timeline.timeline_document`)."""
+    _require(isinstance(document, dict), "$", "expected an object")
+    _require(document.get("version") == 1, "$.version",
+             f"unsupported version {document.get('version')!r}")
+    _require(document.get("kind") == "hyperenclave-timeline", "$.kind",
+             f"unexpected kind {document.get('kind')!r}")
+    timelines = document.get("timelines")
+    _require(isinstance(timelines, list) and timelines, "$.timelines",
+             "expected a non-empty list")
+    for i, timeline in enumerate(timelines):
+        _check_timeline(timeline, f"$.timelines[{i}]")
+
+
 def validate_file(path: str | pathlib.Path) -> dict:
-    """Load and validate a snapshot file; returns the parsed document."""
+    """Load and validate a document file; returns the parsed document.
+
+    Dispatches on ``kind``: telemetry snapshots and timeline documents
+    are both accepted, as are bench artifacts carrying a ``timeline``
+    block (the block is what gets validated).
+    """
     document = json.loads(pathlib.Path(path).read_text())
-    validate_snapshot(document)
+    if isinstance(document, dict) \
+            and document.get("kind") != "hyperenclave-timeline" \
+            and isinstance(document.get("timeline"), dict):
+        document = document["timeline"]     # a bench artifact
+    if isinstance(document, dict) \
+            and document.get("kind") == "hyperenclave-timeline":
+        validate_timeline(document)
+    else:
+        validate_snapshot(document)
     return document
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point: validate one snapshot file, exit non-zero on error."""
+    """CLI entry point: validate one document file, exit non-zero on error."""
     args = argv if argv is not None else sys.argv[1:]
     if not args:
-        print("usage: python -m repro.telemetry.schema SNAPSHOT.json",
+        print("usage: python -m repro.telemetry.schema DOCUMENT.json",
               file=sys.stderr)
         return 2
     try:
@@ -131,8 +195,13 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, json.JSONDecodeError, SchemaError) as exc:
         print(f"INVALID: {exc}", file=sys.stderr)
         return 1
-    print(f"OK: {args[0]} ({len(document['machines'])} machine(s), "
-          f"{document['combined']['total_cycles']:,.0f} cycles)")
+    if document.get("kind") == "hyperenclave-timeline":
+        samples = sum(len(t["samples"]) for t in document["timelines"])
+        print(f"OK: {args[0]} ({len(document['timelines'])} timeline(s), "
+              f"{samples} sample(s))")
+    else:
+        print(f"OK: {args[0]} ({len(document['machines'])} machine(s), "
+              f"{document['combined']['total_cycles']:,.0f} cycles)")
     return 0
 
 

@@ -25,12 +25,15 @@ _ACTIVE: "TelemetrySink | None" = None
 class TelemetrySink:
     """Collects the telemetry hubs of every machine a run creates."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, timeline_interval: int | None = None) -> None:
         self._items: list[tuple[str, Telemetry]] = []
         self._labels: set[str] = set()
         self._index: dict[int, int] = {}    # id(telemetry) -> items index
         self._machines: dict[int, object] = {}  # id(telemetry) -> Machine
         self._cycles: list[tuple[str, object]] = []  # bare CycleCounters
+        # When set, every machine registered here gets a cycle-domain
+        # timeline sampler at this cadence (repro.telemetry.timeline).
+        self._timeline_interval = timeline_interval
 
     def _dedupe(self, label: str) -> str:
         base, n = label, 1
@@ -50,17 +53,25 @@ class TelemetrySink:
         """
         if machine is not None:
             self._machines[id(telemetry)] = machine
+            if self._timeline_interval is not None:
+                from repro.telemetry.timeline import attach_machine
+                attach_machine(machine, interval=self._timeline_interval,
+                               label=label)
         slot = self._index.get(id(telemetry))
         if slot is not None:
             old_label, _ = self._items[slot]
             self._labels.discard(old_label)
             label = self._dedupe(label)
             self._items[slot] = (label, telemetry)
+            if telemetry.timeline is not None:
+                telemetry.timeline.label = label
             return label
         label = self._dedupe(label)
         telemetry.enable()
         self._index[id(telemetry)] = len(self._items)
         self._items.append((label, telemetry))
+        if telemetry.timeline is not None:
+            telemetry.timeline.label = label
         return label
 
     def auto_register(self, telemetry: Telemetry, machine=None) -> str:
@@ -80,7 +91,10 @@ class TelemetrySink:
             return False
         label, _ = self._items.pop(slot)
         self._labels.discard(label)
-        self._machines.pop(id(telemetry), None)
+        machine = self._machines.pop(id(telemetry), None)
+        if machine is not None and self._timeline_interval is not None:
+            from repro.telemetry.timeline import detach_machine
+            detach_machine(machine)
         self._index = {id(tel): i for i, (_, tel) in enumerate(self._items)}
         telemetry.disable()
         return True
@@ -127,6 +141,16 @@ class TelemetrySink:
         """The registered ``(label, telemetry)`` pairs, in creation order."""
         return list(self._items)
 
+    def timelines(self) -> list:
+        """The attached timeline samplers, in registration order."""
+        return [telemetry.timeline for _, telemetry in self._items
+                if telemetry.timeline is not None]
+
+    def timeline_document(self) -> dict | None:
+        """The timeline JSON document, or None when nothing sampled."""
+        from repro.telemetry.timeline import timeline_document
+        return timeline_document(self.timelines())
+
     def document(self, *, strict: bool = True) -> dict:
         """The snapshot document for everything registered so far."""
         return snapshot_document(self._items, strict=strict)
@@ -165,8 +189,8 @@ class capture:
         document = s.document()
     """
 
-    def __init__(self) -> None:
-        self.sink = TelemetrySink()
+    def __init__(self, timeline_interval: int | None = None) -> None:
+        self.sink = TelemetrySink(timeline_interval=timeline_interval)
 
     def __enter__(self) -> TelemetrySink:
         activate(self.sink)

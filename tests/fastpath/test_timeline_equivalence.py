@@ -1,0 +1,42 @@
+"""A/B equivalence of timeline sampling across REPRO_FASTPATH modes.
+
+The sampler's probe discipline (op-granularity state only, boundary
+cycles for clock-domain series, one row per crossed boundary) exists so
+that a batched fast-path charge and the legacy per-op loop produce the
+*same rows*.  This sweeps a swap-heavy workload under every mode and
+asserts the serialized timeline documents are bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.hw import fastpath
+from repro.telemetry import sink as telemetry_sink
+from tests.fastpath.conftest import ALL_MODES
+
+
+def _run_with_timeline() -> str:
+    """The two-tenant EPC-pressure scenario, timeline JSON serialized."""
+    from repro.bench.runner import _ensure_benchmarks_importable
+    _ensure_benchmarks_importable()
+    import benchmarks.bench_epc_pressure as scenario
+
+    with telemetry_sink.capture(timeline_interval=250_000) as sink:
+        figures = scenario.run_experiment()
+        document = sink.timeline_document()
+    assert document is not None and document["timelines"][0]["samples"]
+    return json.dumps({"figures": figures, "timeline": document},
+                      sort_keys=True)
+
+
+def test_timeline_json_bit_identical_across_modes():
+    results = {}
+    for requested in ALL_MODES:
+        effective = fastpath.set_mode(requested)
+        results.setdefault(effective, _run_with_timeline())
+    fastpath.set_mode(None)
+    legacy = results.pop(fastpath.MODE_LEGACY)
+    assert results, "no fast mode available to compare"
+    for mode, serialized in results.items():
+        assert serialized == legacy, f"mode {mode} timeline diverged"

@@ -1,0 +1,55 @@
+"""Timeline sampling through record/replay: same rows on both sides.
+
+The sampler is driven purely by the simulated cycle counter, so a
+recorded run and its journal replay — which re-executes the same op
+sequence — must produce bit-identical timeline documents, and recording
+with sampling enabled must not move a single event or checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.flightrec.replay import replay_journal
+from repro.flightrec.scenario import run_recorded
+from repro.telemetry import sink as telemetry_sink
+
+INTERVAL = 50_000
+
+
+def _recorded_with_timeline(lifecycle_scenario):
+    with telemetry_sink.capture(timeline_interval=INTERVAL) as sink:
+        journal, figures = run_recorded(lifecycle_scenario, {"iters": 3},
+                                        checkpoint_every=16)
+        document = sink.timeline_document()
+    return journal, figures, document
+
+
+class TestTimelineReplay:
+    def test_sampling_does_not_perturb_the_journal(self, lifecycle_scenario):
+        bare, _ = run_recorded(lifecycle_scenario, {"iters": 3},
+                               checkpoint_every=16)
+        sampled, _, document = _recorded_with_timeline(lifecycle_scenario)
+        assert document is not None
+        assert [e.as_list() for e in sampled.events] == \
+            [e.as_list() for e in bare.events]
+        assert [c.chain for c in sampled.checkpoints] == \
+            [c.chain for c in bare.checkpoints]
+
+    def test_replay_reproduces_the_sampled_series(self, lifecycle_scenario):
+        journal, _, recorded_doc = _recorded_with_timeline(
+            lifecycle_scenario)
+        with telemetry_sink.capture(timeline_interval=INTERVAL) as sink:
+            result = replay_journal(journal, window=8)
+            replayed_doc = sink.timeline_document()
+        assert result.ok, result.render()
+        assert replayed_doc is not None
+        assert json.dumps(replayed_doc, sort_keys=True) == \
+            json.dumps(recorded_doc, sort_keys=True)
+
+    def test_sampled_run_has_rows(self, lifecycle_scenario):
+        _, _, document = _recorded_with_timeline(lifecycle_scenario)
+        timeline = document["timelines"][0]
+        assert timeline["interval"] == INTERVAL
+        assert timeline["samples"], "lifecycle run must cross boundaries"
+        assert "epc.free_frames" in timeline["samples"][0]["series"]

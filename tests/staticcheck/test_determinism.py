@@ -174,6 +174,42 @@ class TestSC001:
         assert hits[0].suppressed
         assert hits[0].justification == "fixture waiver"
 
+    def test_timeline_sampler_is_a_root_despite_telemetry_exclude(
+            self, run_passes):
+        # Mirrors the repository's pyproject override: the timeline
+        # sampler runs on the charged path (CycleCounter.charge calls
+        # it), so repro/telemetry/timeline.py is a determinism root
+        # even though the rest of telemetry/ is excluded observer code.
+        config = StaticcheckConfig(
+            determinism_roots=("repro/hw/", "repro/monitor/",
+                               "repro/osim/",
+                               "repro/telemetry/timeline.py"),
+            determinism_exclude=("repro/telemetry/core.py",
+                                 "repro/telemetry/export.py",
+                                 "repro/profiler/"))
+        files = {
+            "telemetry/timeline.py": '''
+                """Fixture."""
+                import time
+
+                def on_charge(total):
+                    """A sampler that cheats with host time."""
+                    return time.monotonic() + total
+                ''',
+            "telemetry/export.py": '''
+                """Fixture."""
+                import time
+
+                def stamp():
+                    """Host-side export timestamp: legitimately excluded."""
+                    return time.time()
+                ''',
+        }
+        hits = by_rule(run_passes(files, config), "SC001")
+        assert [f.sink for f in hits] == ["time.monotonic"]
+        assert hits[0].symbol == "repro.telemetry.timeline:on_charge"
+        assert "wall clock" in hits[0].message
+
     def test_disable_rule_via_config(self, run_passes):
         found = run_passes({"hw/engine.py": '''
             """Fixture."""

@@ -77,6 +77,19 @@ class TestMetricsRegistry:
         b = reg.counter("x", "y", q=2, p=1)
         assert a is b
 
+    def test_mixed_type_label_values_intern(self):
+        # Interning sorts by key name only: label *values* may mix types
+        # across call sites (enclave=3 vs enclave="boot"), and sorting
+        # (key, value) pairs would compare 3 < "boot" and raise
+        # TypeError.
+        reg = MetricsRegistry()
+        a = reg.counter("monitor", "swap", enclave=3, phase="steady")
+        b = reg.counter("monitor", "swap", phase="steady", enclave=3)
+        c = reg.counter("monitor", "swap", enclave="boot", phase=7)
+        assert a is b
+        assert a is not c
+        assert len(reg) == 2
+
     def test_type_conflict_raises(self):
         reg = MetricsRegistry()
         reg.counter("sdk", "calls")

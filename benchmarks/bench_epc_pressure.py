@@ -3,11 +3,15 @@
 Two GU enclaves ("tenant-a", "tenant-b") each own a working set of
 :data:`WORKING_SET_PAGES` pages; together the sets exceed the ~14 MB
 EPC pool, so every full sweep by one tenant evicts the other's resident
-pages through the monitor's reclaim path.  Run under a timeline sampler
-(``python -m repro.bench run epc_pressure --timeline``) this produces
-the canonical pressure trace: alternating swap-out storms with
-cross-tenant (victim, aggressor) steal attribution, which the episode
-detector in :mod:`repro.telemetry.timeline` names per interval.
+pages through the monitor's reclaim path.  Each sweep is driven through
+real ``sweep`` ECALLs (one per :data:`CHUNK_PAGES`-page chunk), so the
+scenario exercises the whole edge-call stack: under a request tracer
+(``python -m repro.bench run epc_pressure --requests``) every chunk is
+a traced request whose causal tree shows the page-fault/swap storms it
+hit, and the artifact ends in the per-request cross-tenant interference
+table; under a timeline sampler (``--timeline``) the same run yields
+the canonical pressure trace with per-interval (victim, aggressor)
+episode attribution — the two reports agree by construction.
 
 The figures are deterministic fault/steal counts — no host time — so
 the scenario doubles as an ordinary (non-gated) ablation benchmark.
@@ -29,54 +33,61 @@ TINY = MachineConfig(
     reserved_size=16 * 1024 * 1024,        # ~14 MB EPC after monitor
 )
 
-EDL = "enclave { trusted { public uint64 nop(); }; untrusted { }; };"
+EDL = ("enclave { trusted { public uint64 sweep(uint64 chunk); }; "
+       "untrusted { }; };")
 WORKING_SET_PAGES = 2048                   # 8 MB each; 16 MB combined
+CHUNK_PAGES = 256                          # pages per sweep ECALL
 ROUNDS = 3
 TENANTS = ("tenant-a", "tenant-b")
+BASE_VA = ENCLAVE_BASE_VA + 128 * PAGE_SIZE
+
+
+def _sweep_chunk(ctx, chunk):
+    """Trusted: touch every page of one working-set chunk in order.
+
+    Returns the number of pages that faulted (demand commit or swap-in
+    through RustMonitor) — the reads themselves take the real fault
+    path inside this ECALL, so a request tracer sees the storm.
+    """
+    faults = 0
+    for i in range(CHUNK_PAGES):
+        page_va = BASE_VA + (chunk * CHUNK_PAGES + i) * PAGE_SIZE
+        if ctx.enclave.page_at(page_va) is None:
+            faults += 1
+        ctx.read(page_va, 8)
+    return faults
 
 
 def _build_tenant(platform, name):
     image = EnclaveImage.build(
-        name, EDL, {"nop": lambda ctx: 0},
+        name, EDL, {"sweep": _sweep_chunk},
         EnclaveConfig(mode=EnclaveMode.GU, heap_size=16 * 1024 * 1024,
                       tcs_count=1))
     handle = platform.load_enclave(image)
     eid = handle.enclave_id
-    base = ENCLAVE_BASE_VA + 128 * PAGE_SIZE
-    platform.monitor.reserve_region(eid, base,
+    platform.monitor.reserve_region(eid, BASE_VA,
                                     WORKING_SET_PAGES * PAGE_SIZE)
-    sampler = platform.machine.telemetry.timeline
-    if sampler is not None:
-        sampler.name_tenant(eid, name)
-    return handle, eid, base
-
-
-def _sweep(platform, eid, base, enclave) -> int:
-    """Touch every working-set page in order; return the fault count."""
-    monitor = platform.monitor
-    faults = 0
-    for i in range(WORKING_SET_PAGES):
-        page_va = base + i * PAGE_SIZE
-        if enclave.page_at(page_va) is None:
-            monitor.handle_enclave_page_fault(eid, page_va, write=True)
-            faults += 1
-        else:
-            platform.machine.cycles.charge(50, "resident-touch")
-    return faults
+    telemetry = platform.machine.telemetry
+    for observer in (telemetry.timeline, telemetry.requests):
+        if observer is not None:
+            observer.name_tenant(eid, name)
+    return handle, eid
 
 
 def run_experiment():
     platform = TeePlatform.hyperenclave(TINY)
     monitor = platform.monitor
     tenants = [_build_tenant(platform, name) for name in TENANTS]
+    chunks = WORKING_SET_PAGES // CHUNK_PAGES
 
     faults = {name: 0 for name in TENANTS}
     for _ in range(ROUNDS):
-        for name, (handle, eid, base) in zip(TENANTS, tenants):
-            faults[name] += _sweep(platform, eid, base, handle.enclave)
+        for name, (handle, _) in zip(TENANTS, tenants):
+            for chunk in range(chunks):
+                faults[name] += handle.ecall("sweep", chunk=chunk)
 
     swap_outs = {name: monitor._swap_states[eid]._version
-                 for name, (_, eid, _) in zip(TENANTS, tenants)}
+                 for name, (_, eid) in zip(TENANTS, tenants)}
     cross_steals = sum(count for (victim, aggressor), count
                        in monitor.epc_steals.items()
                        if victim != aggressor)
@@ -87,8 +98,9 @@ def run_experiment():
         "swap_outs_tenant_b": swap_outs["tenant-b"],
         "cross_tenant_steals": cross_steals,
         "epc_free_frames_end": monitor.epc_pool.free_pages,
+        "sweep_ecalls": ROUNDS * len(TENANTS) * chunks,
     }
-    for handle, _, _ in tenants:
+    for handle, _ in tenants:
         handle.destroy()
     return figures
 

@@ -203,7 +203,8 @@ def build_artifact(spec, figures, telemetry_doc: dict | None,
                    fingerprints: dict[str, str] | None = None, *,
                    wall_seconds: float | None = None,
                    bare_cycles: float | None = None,
-                   timeline_doc: dict | None = None) -> dict:
+                   timeline_doc: dict | None = None,
+                   requests_doc: dict | None = None) -> dict:
     """Assemble one ``BENCH_<name>.json`` document.
 
     ``fingerprints`` maps machine labels to ``Machine.state_hash()``
@@ -212,9 +213,10 @@ def build_artifact(spec, figures, telemetry_doc: dict | None,
     ``wall_seconds`` is the host wall-clock duration of the benchmark's
     ``run()``; when given (and telemetry captured cycles), the artifact
     gains the ``throughput`` block and its direction-aware gated metric.
-    ``timeline_doc`` (``--timeline``) rides along informationally: the
-    gate compares only ``metrics`` and ``fingerprints``, so the block
-    never gates and baselines recorded without it stay green.
+    ``timeline_doc`` (``--timeline``) and ``requests_doc``
+    (``--requests``) ride along informationally: the gate compares only
+    ``metrics`` and ``fingerprints``, so neither block ever gates and
+    baselines recorded without them stay green.
     """
     from repro.profiler import profile_summary
 
@@ -273,6 +275,7 @@ def build_artifact(spec, figures, telemetry_doc: dict | None,
         "latency": latency,
         "profile": profile_digest,
         "timeline": timeline_doc,
+        "requests": requests_doc,
     }
 
 

@@ -53,6 +53,13 @@ def _add_selection(parser) -> None:
                              "informational `timeline` block to the "
                              "artifact and, with --artifacts, a "
                              "<name>.timeline.json side file")
+    parser.add_argument("--requests", action="store_true",
+                        dest="trace_requests",
+                        help="trace every top-level ecall as a request "
+                             "(repro.telemetry.requests); adds an "
+                             "informational `requests` block to the "
+                             "artifact and, with --artifacts, a "
+                             "<name>.requests.json side file")
 
 
 def _cmd_list(args) -> int:
@@ -72,7 +79,8 @@ def _cmd_run(args) -> int:
                 results_path=results_path,
                 profile=not args.no_profile,
                 record_dir=args.record_dir,
-                timeline_interval=args.timeline_interval)
+                timeline_interval=args.timeline_interval,
+                trace_requests=args.trace_requests)
     print(f"wrote {len(specs)} baseline artifact(s) to "
           f"{args.baseline_dir}")
     return 0
@@ -84,7 +92,8 @@ def _cmd_check(args) -> int:
                             artifacts_dir=args.artifacts,
                             profile=not args.no_profile,
                             record_dir=args.record_dir,
-                            timeline_interval=args.timeline_interval)
+                            timeline_interval=args.timeline_interval,
+                            trace_requests=args.trace_requests)
     if args.json:
         print(json.dumps([r.as_dict() for r in results], indent=2))
     else:

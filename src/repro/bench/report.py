@@ -64,6 +64,61 @@ def latency_section(artifact: dict) -> list[str]:
     return out
 
 
+def _timeline_episodes(artifact: dict) -> list[dict]:
+    """Pressure episodes of the artifact's ``timeline`` block, labeled."""
+    timeline_doc = artifact.get("timeline")
+    if not timeline_doc:
+        return []
+    from repro.telemetry.timeline import detect_episodes
+    episodes = []
+    for timeline in timeline_doc.get("timelines", []):
+        for ep in detect_episodes(timeline):
+            episodes.append({"machine": timeline["label"], **ep})
+    return episodes
+
+
+def timeline_section(artifact: dict) -> list[str]:
+    """Render the timeline pressure-episode table (empty when untimed)."""
+    episodes = _timeline_episodes(artifact)
+    if not episodes:
+        return []
+    out = ["  EPC pressure episodes (from the timeline block):",
+           f"    {'machine':<14} {'start cycle':>14} {'end cycle':>14} "
+           f"{'pages':>7} {'depth':>7}  victim -> aggressor"]
+    for ep in episodes:
+        out.append(f"    {ep['machine']:<14} {ep['start_cycle']:>14,} "
+                   f"{ep['end_cycle']:>14,} {ep['pages']:>7g} "
+                   f"{ep['depth']:>7g}  {ep['victim']} -> "
+                   f"{ep['aggressor']}")
+    return out
+
+
+def requests_section(artifact: dict) -> list[str]:
+    """Render the request-trace digest (empty when untraced)."""
+    requests_doc = artifact.get("requests")
+    if not requests_doc:
+        return []
+    from repro.analysis.critpath import interference_report, latency_tables
+    out = ["  traced requests (per tenant and call, simulated cycles):",
+           f"    {'trace':<14} {'tenant':<10} {'call':<16} {'count':>6} "
+           f"{'p50':>10} {'p95':>10} {'p99':>10}  tail cause"]
+    for row in latency_tables(requests_doc):
+        out.append(f"    {row['trace']:<14} {row['tenant']:<10} "
+                   f"{row['name']:<16} {row['count']:>6} "
+                   f"{row['p50']:>10,} {row['p95']:>10,} "
+                   f"{row['p99']:>10,}  {row['tail_cause']}")
+    for entry in interference_report(requests_doc):
+        out.append(f"  interference [{entry['trace']}]: "
+                   f"victim={entry['victim']} "
+                   f"aggressor={entry['aggressor']}")
+        for irow in entry["rows"]:
+            out.append(f"    {irow['victim']} <- {irow['aggressor']}: "
+                       f"{irow['frames_stolen']:g} frames stolen, "
+                       f"{irow['victim_requests_stalled']} request(s) "
+                       f"stalled")
+    return out
+
+
 def artifact_report(artifact: dict) -> str:
     """The full plain-text digest of one artifact."""
     out = [f"{artifact['name']} — {artifact['title']} "
@@ -77,6 +132,8 @@ def artifact_report(artifact: dict) -> str:
                    f"across {telemetry['machines']} machine(s)")
     out.extend(throughput_section(artifact))
     out.extend(latency_section(artifact))
+    out.extend(timeline_section(artifact))
+    out.extend(requests_section(artifact))
     return "\n".join(out)
 
 
@@ -136,6 +193,49 @@ def latency_section_markdown(artifact: dict) -> list[str]:
     return out
 
 
+def timeline_section_markdown(artifact: dict) -> list[str]:
+    """Markdown twin of :func:`timeline_section`."""
+    episodes = _timeline_episodes(artifact)
+    if not episodes:
+        return []
+    rows = [[ep["machine"], f"{ep['start_cycle']:,}",
+             f"{ep['end_cycle']:,}", f"{ep['pages']:g}",
+             f"{ep['depth']:g}", ep["victim"], ep["aggressor"]]
+            for ep in episodes]
+    out = ["**EPC pressure episodes (from the timeline block):**", ""]
+    out.extend(_md_table(["machine", "start cycle", "end cycle", "pages",
+                          "depth", "victim", "aggressor"], rows))
+    return out
+
+
+def requests_section_markdown(artifact: dict) -> list[str]:
+    """Markdown twin of :func:`requests_section`."""
+    requests_doc = artifact.get("requests")
+    if not requests_doc:
+        return []
+    from repro.analysis.critpath import interference_report, latency_tables
+    rows = [[row["trace"], row["tenant"], row["name"], str(row["count"]),
+             f"{row['p50']:,}", f"{row['p95']:,}", f"{row['p99']:,}",
+             row["tail_cause"]]
+            for row in latency_tables(requests_doc)]
+    out = ["**Traced requests (per tenant and call, simulated cycles):**",
+           ""]
+    out.extend(_md_table(["trace", "tenant", "call", "count", "p50",
+                          "p95", "p99", "tail cause"], rows))
+    irows = [[entry["trace"], irow["victim"], irow["aggressor"],
+              f"{irow['frames_stolen']:g}",
+              str(irow["victim_requests_stalled"])]
+             for entry in interference_report(requests_doc)
+             for irow in entry["rows"]]
+    if irows:
+        out.append("")
+        out.append("**Cross-tenant interference (EPC steals):**")
+        out.append("")
+        out.extend(_md_table(["trace", "victim", "aggressor",
+                              "frames stolen", "requests stalled"], irows))
+    return out
+
+
 def artifact_report_markdown(artifact: dict) -> str:
     """The full GitHub-flavored-markdown digest of one artifact."""
     out = [f"### {artifact['name']} — {artifact['title']} "
@@ -152,6 +252,11 @@ def artifact_report_markdown(artifact: dict) -> str:
     out.extend(throughput_section_markdown(artifact))
     out.append("")
     out.extend(latency_section_markdown(artifact))
+    for section in (timeline_section_markdown(artifact),
+                    requests_section_markdown(artifact)):
+        if section:
+            out.append("")
+            out.extend(section)
     return "\n".join(out)
 
 

@@ -67,7 +67,8 @@ class RunOutput:
 def run_one(spec: BenchSpec, *, profile: bool = True,
             artifacts_dir: str | pathlib.Path | None = None,
             record_dir: str | pathlib.Path | None = None,
-            timeline_interval: int | None = None) -> RunOutput:
+            timeline_interval: int | None = None,
+            trace_requests: bool = False) -> RunOutput:
     """Run one benchmark under a fresh telemetry sink; build its artifact.
 
     When ``artifacts_dir`` is given, the side artifacts land there:
@@ -87,6 +88,13 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
     informational ``timeline`` block (never gated) and, with
     ``artifacts_dir``, a ``<name>.timeline.json`` side file.  Sampling
     is a pure observer too: figures and fingerprints are unchanged.
+
+    When ``trace_requests`` is true, every machine gets a request tracer
+    (``repro.telemetry.requests``): each top-level ecall becomes a
+    traced request with a causal segment tree.  The artifact gains an
+    informational ``requests`` block and, with ``artifacts_dir``, a
+    ``<name>.requests.json`` side file.  Tracing charges nothing —
+    figures and fingerprints are bit-identical to an untraced run.
     """
     from repro.flightrec import forensics
     from repro.flightrec import recorder as flightrec_recorder
@@ -98,7 +106,8 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
     rec = None
     journal_path = None
     slowdown = _injected_slowdown()
-    with telemetry_sink.capture(timeline_interval) as sink:
+    with telemetry_sink.capture(timeline_interval,
+                                trace_requests=trace_requests) as sink:
         if record_dir is not None:
             rec = flightrec_recorder.FlightRecorder(f"bench:{spec.name}")
             flightrec_recorder.activate(rec)
@@ -137,10 +146,12 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
         if profile and sink.items else None
     timeline_doc = sink.timeline_document() \
         if timeline_interval is not None else None
+    requests_doc = sink.requests_document() if trace_requests else None
     artifact = build_artifact(spec, figures, telemetry_doc, profile_doc,
                               fingerprints, wall_seconds=wall_seconds,
                               bare_cycles=bare_cycles,
-                              timeline_doc=timeline_doc)
+                              timeline_doc=timeline_doc,
+                              requests_doc=requests_doc)
 
     written: list[pathlib.Path] = []
     if artifacts_dir is not None:
@@ -154,6 +165,11 @@ def run_one(spec: BenchSpec, *, profile: bool = True,
             timeline_path = artifacts_dir / f"{spec.name}.timeline.json"
             write_timeline(timeline_path, timeline_doc)
             written.append(timeline_path)
+        if requests_doc is not None:
+            from repro.telemetry.requests import write_requests
+            requests_path = artifacts_dir / f"{spec.name}.requests.json"
+            write_requests(requests_path, requests_doc)
+            written.append(requests_path)
         if profile_doc is not None:
             profile_path = artifacts_dir / f"{spec.name}.profile.json"
             profile_path.write_text(
@@ -199,6 +215,7 @@ def run_benches(specs: list[BenchSpec], *,
                 profile: bool = True,
                 record_dir: str | pathlib.Path | None = None,
                 timeline_interval: int | None = None,
+                trace_requests: bool = False,
                 log=print) -> list[RunOutput]:
     """Run every spec, writing ``BENCH_<name>.json`` baselines."""
     outputs = []
@@ -206,7 +223,8 @@ def run_benches(specs: list[BenchSpec], *,
         log(f"running {spec.name} ({spec.title}) ...")
         output = run_one(spec, profile=profile, artifacts_dir=artifacts_dir,
                          record_dir=record_dir,
-                         timeline_interval=timeline_interval)
+                         timeline_interval=timeline_interval,
+                         trace_requests=trace_requests)
         path = write_artifact(
             artifact_path(baseline_dir, spec.name), output.artifact)
         output.written.insert(0, path)
@@ -225,6 +243,7 @@ def check_benches(specs: list[BenchSpec], *,
                   profile: bool = True,
                   record_dir: str | pathlib.Path | None = None,
                   timeline_interval: int | None = None,
+                  trace_requests: bool = False,
                   log=print) -> list[CompareResult]:
     """Re-run every spec and gate it against its committed baseline.
 
@@ -248,7 +267,8 @@ def check_benches(specs: list[BenchSpec], *,
         baseline = load_artifact(base_path)
         output = run_one(spec, profile=profile, artifacts_dir=artifacts_dir,
                          record_dir=record_dir,
-                         timeline_interval=timeline_interval)
+                         timeline_interval=timeline_interval,
+                         trace_requests=trace_requests)
         results.append(compare_artifacts(baseline, output.artifact))
     return results
 

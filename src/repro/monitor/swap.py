@@ -111,6 +111,9 @@ def swap_out_page(monitor, enclave, state: EnclaveSwapState,
     tel = monitor.machine.telemetry
     tel.event("swap-out",
               lambda: f"enclave={enclave.enclave_id} va={page_va:#x}")
+    tracer = tel.requests
+    seg = (tracer.begin_segment("swap_out", f"{page_va:#x}")
+           if tracer is not None else None)
     with tel.span("monitor.swap_out", enclave=enclave.enclave_id):
         phys = monitor.machine.phys
         content = phys.read(page.pa, PAGE_SIZE)
@@ -130,6 +133,8 @@ def swap_out_page(monitor, enclave, state: EnclaveSwapState,
         san = monitor.machine.sanitizer
         if san is not None:
             san.on_swap_out(enclave, page_va, version, page.pa)
+    if tracer is not None:
+        tracer.end_segment(seg)
     tel.count("monitor", "swap.pages_out", enclave=enclave.enclave_id)
     return token
 
@@ -144,6 +149,9 @@ def swap_in_page(monitor, enclave, state: EnclaveSwapState,
     tel = monitor.machine.telemetry
     tel.event("swap-in",
               lambda: f"enclave={enclave.enclave_id} va={page_va:#x}")
+    tracer = tel.requests
+    seg = (tracer.begin_segment("swap_in", f"{page_va:#x}")
+           if tracer is not None else None)
     with tel.span("monitor.swap_in", enclave=enclave.enclave_id):
         blob = store.get(record.token)
         try:
@@ -165,4 +173,6 @@ def swap_in_page(monitor, enclave, state: EnclaveSwapState,
         san = monitor.machine.sanitizer
         if san is not None:
             san.on_swap_in(enclave, page_va, record.version, pa)
+    if tracer is not None:
+        tracer.end_segment(seg)
     tel.count("monitor", "swap.pages_in", enclave=enclave.enclave_id)

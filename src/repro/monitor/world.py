@@ -51,6 +51,11 @@ class WorldSwitchEngine:
         return tel.span(name, enclave=enclave.enclave_id,
                         mode=enclave.mode.value)
 
+    def _tracer(self):
+        # The request tracer, when one is attached (one load + branch).
+        tel = self.telemetry
+        return None if tel is None else tel.requests
+
     @staticmethod
     def _mode_key(enclave: Enclave) -> str:
         return enclave.mode.value
@@ -74,10 +79,15 @@ class WorldSwitchEngine:
         if tcs not in enclave.tcs_list:
             raise EnclaveError("TCS does not belong to this enclave")
         mode = self._mode_key(enclave)
+        tracer = self._tracer()
+        token = (tracer.begin_segment("eenter", mode)
+                 if tracer is not None else None)
         with self._span("world.eenter", enclave):
             self.cpu.charge_steps(costs.SWITCH_COSTS[mode].eenter,
                                   f"eenter:{mode}")
             self._flush_for(enclave)
+        if tracer is not None:
+            tracer.end_segment(token)
         enclave.registered_aep = aep
         self.cpu.mode = _ENCLAVE_CPU_MODE[enclave.mode]
         self.enters += 1
@@ -98,10 +108,15 @@ class WorldSwitchEngine:
                 f"EEXIT to {target:#x} blocked: only the registered AEP "
                 f"{enclave.registered_aep:#x} is a legal exit target")
         mode = self._mode_key(enclave)
+        tracer = self._tracer()
+        token = (tracer.begin_segment("eexit", mode)
+                 if tracer is not None else None)
         with self._span("world.eexit", enclave):
             self.cpu.charge_steps(costs.SWITCH_COSTS[mode].eexit,
                                   f"eexit:{mode}")
             self._flush_for(enclave)
+        if tracer is not None:
+            tracer.end_segment(token)
         self.cpu.mode = CpuMode.GUEST_USER
         self.exits += 1
         self._event("eexit",
@@ -120,9 +135,14 @@ class WorldSwitchEngine:
         tcs.current_ssa += 1
         enclave.interrupted_tcs = tcs
         mode = self._mode_key(enclave)
+        tracer = self._tracer()
+        token = (tracer.begin_segment("aex", f"vector:{vector}")
+                 if tracer is not None else None)
         with self._span("world.aex", enclave):
             self.cpu.charge_steps(costs.AEX_STEPS[mode], f"aex:{mode}")
             self._flush_for(enclave)
+        if tracer is not None:
+            tracer.end_segment(token)
         self.cpu.mode = CpuMode.GUEST_KERNEL   # the primary OS takes over
         self.aexes += 1
         self._event("aex",
@@ -137,10 +157,15 @@ class WorldSwitchEngine:
         frame.valid = False
         enclave.interrupted_tcs = None
         mode = self._mode_key(enclave)
+        tracer = self._tracer()
+        token = (tracer.begin_segment("eresume", mode)
+                 if tracer is not None else None)
         with self._span("world.eresume", enclave):
             self.cpu.charge_steps(costs.ERESUME_STEPS[mode],
                                   f"eresume:{mode}")
             self._flush_for(enclave)
+        if tracer is not None:
+            tracer.end_segment(token)
         self.cpu.mode = _ENCLAVE_CPU_MODE[enclave.mode]
         self._event("eresume",
                     lambda: f"enclave={enclave.enclave_id} mode={mode}")

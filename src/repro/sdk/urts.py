@@ -215,9 +215,20 @@ class EnclaveHandle:
         func = self.image.trusted_funcs[name]
 
         tel = self.machine.telemetry
-        with tel.span("sdk.ecall", func=name, enclave=self.enclave_id), \
-                tel.cause(f"ecall:{name}"):
-            return self._do_ecall(spec, func, kwargs)
+        tracer = tel.requests
+        token = (tracer.begin_request(name, self.enclave_id)
+                 if tracer is not None else None)
+        error = False
+        try:
+            with tel.span("sdk.ecall", func=name, enclave=self.enclave_id), \
+                    tel.cause(f"ecall:{name}"):
+                return self._do_ecall(spec, func, kwargs)
+        except BaseException:
+            error = True
+            raise
+        finally:
+            if tracer is not None:
+                tracer.end_request(token, error=error)
 
     def _do_ecall(self, spec: FuncSpec, func, kwargs):
         _charge_steps(self.machine, _URTS_PRE, "sdk-ecall")
@@ -397,11 +408,18 @@ class EnclaveHandle:
         switchless = self.switchless_workers > 0
 
         tel = self.machine.telemetry
-        with tel.span("sdk.ocall", func=name, enclave=self.enclave_id,
-                      switchless=switchless), \
-                tel.cause(f"ocall:{name}"):
-            return self._do_ocall(ctx, spec, impl, tcs, switchless, name,
-                                  kwargs)
+        tracer = tel.requests
+        token = (tracer.begin_segment("ocall", name)
+                 if tracer is not None else None)
+        try:
+            with tel.span("sdk.ocall", func=name, enclave=self.enclave_id,
+                          switchless=switchless), \
+                    tel.cause(f"ocall:{name}"):
+                return self._do_ocall(ctx, spec, impl, tcs, switchless, name,
+                                      kwargs)
+        finally:
+            if tracer is not None:
+                tracer.end_segment(token)
 
     def _do_ocall(self, ctx: EnclaveContext, spec: FuncSpec, impl, tcs,
                   switchless: bool, name: str, kwargs):

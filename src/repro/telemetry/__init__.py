@@ -15,13 +15,16 @@ from repro.telemetry.export import (chrome_trace_document,
                                     snapshot_document, top_report,
                                     trace_path_for, wall_ns_by_subsystem,
                                     write_telemetry)
-from repro.telemetry.schema import (SchemaError, validate_snapshot,
-                                    validate_timeline)
+from repro.telemetry.schema import (SchemaError, validate_requests,
+                                    validate_snapshot, validate_timeline)
 from repro.telemetry.timeline import (TimelineSampler, attach_machine,
                                       detach_machine, detect_episodes,
                                       register_monitor_probes, render_html,
                                       tenant_rollups, timeline_document,
                                       write_timeline)
+from repro.telemetry.requests import (RequestTracer, load_requests,
+                                      request_flow_events,
+                                      requests_document, write_requests)
 
 __all__ = [
     "NULL_SPAN", "Span", "SpanRecord", "Telemetry", "UnclosedSpanError",
@@ -31,8 +34,11 @@ __all__ = [
     "chrome_trace_document", "latency_summaries", "machine_snapshot",
     "snapshot_document", "top_report", "trace_path_for",
     "wall_ns_by_subsystem", "write_telemetry",
-    "SchemaError", "validate_snapshot", "validate_timeline",
+    "SchemaError", "validate_requests", "validate_snapshot",
+    "validate_timeline",
     "TimelineSampler", "attach_machine", "detach_machine",
     "detect_episodes", "register_monitor_probes", "render_html",
     "tenant_rollups", "timeline_document", "write_timeline",
+    "RequestTracer", "load_requests", "request_flow_events",
+    "requests_document", "write_requests",
 ]

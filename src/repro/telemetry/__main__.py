@@ -1,13 +1,21 @@
-"""The telemetry CLI: ``python -m repro.telemetry timeline ...``.
+"""The telemetry CLI: ``python -m repro.telemetry {timeline,requests} ...``.
 
-Operates on timeline JSON documents — written directly by
-:func:`repro.telemetry.timeline.write_timeline`, or embedded as the
-``timeline`` block of a bench artifact (``python -m repro.bench run
---timeline``); both are accepted everywhere a path is.
+``timeline`` commands operate on timeline JSON documents — written
+directly by :func:`repro.telemetry.timeline.write_timeline`, or embedded
+as the ``timeline`` block of a bench artifact (``python -m repro.bench
+run --timeline``); both are accepted everywhere a path is.
 
     timeline report   EPC_PRESSURE.json          # text digest
     timeline episodes EPC_PRESSURE.json --min 1  # exit 1 below --min
     timeline html     EPC_PRESSURE.json -o report.html
+
+``requests`` commands operate on request-trace documents
+(:func:`repro.telemetry.requests.write_requests`, or the ``requests``
+block of a bench artifact from ``--requests``):
+
+    requests report       RUN.json         # per-tenant latency tables
+    requests slowest      RUN.json -n 5    # critical paths of the tail
+    requests interference RUN.json         # cross-tenant steal report
 """
 
 from __future__ import annotations
@@ -31,17 +39,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "interval (default %(default)s)")
 
 
+def _add_requests_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("document", help="requests JSON or bench artifact")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.telemetry",
-        description="inspect cycle-domain timeline telemetry")
+        description="inspect cycle-domain timeline and request telemetry")
     commands = parser.add_subparsers(dest="command", required=True)
+
     timeline = commands.add_parser(
         "timeline", help="report on a sampled timeline")
     actions = timeline.add_subparsers(dest="action", required=True)
 
     report = actions.add_parser("report", help="plain-text digest")
     _add_common(report)
+    report.set_defaults(fn=_cmd_report)
 
     episodes = actions.add_parser(
         "episodes", help="list pressure episodes (exit 1 below --min)")
@@ -49,11 +63,37 @@ def _build_parser() -> argparse.ArgumentParser:
     episodes.add_argument("--min", type=int, default=0, dest="minimum",
                           help="fail unless at least this many episodes "
                                "were detected (default %(default)s)")
+    episodes.set_defaults(fn=_cmd_episodes)
 
     html = actions.add_parser("html", help="static HTML report")
     _add_common(html)
     html.add_argument("-o", "--output", default=None,
                       help="output path (default: input stem + .html)")
+    html.set_defaults(fn=_cmd_html)
+
+    requests = commands.add_parser(
+        "requests", help="report on traced requests")
+    req_actions = requests.add_subparsers(dest="action", required=True)
+
+    req_report = req_actions.add_parser(
+        "report", help="per-tenant latency tables with tail causes")
+    _add_requests_common(req_report)
+    req_report.set_defaults(fn=_cmd_requests_report)
+
+    slowest = req_actions.add_parser(
+        "slowest", help="the slowest requests and their critical paths")
+    _add_requests_common(slowest)
+    slowest.add_argument("-n", "--limit", type=int, default=10,
+                         help="how many requests (default %(default)s)")
+    slowest.set_defaults(fn=_cmd_requests_slowest)
+
+    interference = req_actions.add_parser(
+        "interference", help="cross-tenant EPC-steal interference report")
+    _add_requests_common(interference)
+    interference.add_argument("--min-frames", type=int, default=0,
+                              help="fail unless at least this many frames "
+                                   "were stolen (default %(default)s)")
+    interference.set_defaults(fn=_cmd_requests_interference)
     return parser
 
 
@@ -92,15 +132,40 @@ def _cmd_html(args) -> int:
     return 0
 
 
-_ACTIONS = {"report": _cmd_report, "episodes": _cmd_episodes,
-            "html": _cmd_html}
+def _cmd_requests_report(args) -> int:
+    from repro.analysis.critpath import requests_report
+    from repro.telemetry.requests import load_requests
+    print(requests_report(load_requests(args.document)))
+    return 0
+
+
+def _cmd_requests_slowest(args) -> int:
+    from repro.analysis.critpath import slowest_requests
+    from repro.telemetry.requests import load_requests
+    print(slowest_requests(load_requests(args.document), limit=args.limit))
+    return 0
+
+
+def _cmd_requests_interference(args) -> int:
+    from repro.analysis.critpath import (interference_report,
+                                         interference_text)
+    from repro.telemetry.requests import load_requests
+    document = load_requests(args.document)
+    print(interference_text(document))
+    frames = sum(sum(entry["pairs"].values())
+                 for entry in interference_report(document))
+    if frames < args.min_frames:
+        print(f"FAIL: {frames:g} frame(s) stolen, expected at least "
+              f"{args.min_frames}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     try:
-        return _ACTIONS[args.action](args)
+        return args.fn(args)
     except (OSError, json.JSONDecodeError, SchemaError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -256,6 +256,9 @@ class Telemetry:
         # Cycle-domain timeline sampler (repro.telemetry.timeline);
         # attached by the sink or attach_machine, None when off.
         self.timeline = None
+        # Request tracer (repro.telemetry.requests); same attach
+        # discipline, None when off.
+        self.requests = None
 
     # -- lifecycle -----------------------------------------------------------
 

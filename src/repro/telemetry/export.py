@@ -180,14 +180,17 @@ def chrome_trace_events(telemetry: Telemetry, *, pid: int = 1,
         "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
         "args": {"name": f"{label} (1 cycle = 1 us)"},
     }]
+    span_events: list[dict] = []
+    tids: set[int] = {0}
     for record in telemetry.spans:
         tid = record.labels.get("cpu", 0)
+        tids.add(tid)
         args = {k: v for k, v in record.labels.items()}
         args["self_cycles"] = record.self_cycles
         args["wall_ns"] = record.dur_wall_ns
         if record.error:
             args["error"] = True
-        events.append({
+        span_events.append({
             "name": record.name,
             "cat": record.name.partition(".")[0],
             "ph": "X",
@@ -197,12 +200,24 @@ def chrome_trace_events(telemetry: Telemetry, *, pid: int = 1,
             "tid": tid,
             "args": args,
         })
+    # Thread-name metadata so the trace UI labels rows "vcpu0" instead
+    # of bare tids; one event per tid the spans actually used.
+    for tid in sorted(tids):
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": tid, "args": {"name": f"vcpu{tid}"}})
+    events.extend(span_events)
     # A machine with an attached timeline sampler contributes Perfetto
     # counter tracks on the same cycle timebase.
     sampler = getattr(telemetry, "timeline", None)
     if sampler is not None and sampler.samples:
         from repro.telemetry.timeline import timeline_counter_events
         events.extend(timeline_counter_events(sampler.document(), pid=pid))
+    # A machine with a request tracer contributes flow events linking
+    # each request's ecall -> ocall -> resume spans.
+    tracer = getattr(telemetry, "requests", None)
+    if tracer is not None and tracer.requests:
+        from repro.telemetry.requests import request_flow_events
+        events.extend(request_flow_events(tracer.document(), pid=pid))
     return events
 
 

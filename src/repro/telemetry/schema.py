@@ -163,21 +163,100 @@ def validate_timeline(document) -> None:
         _check_timeline(timeline, f"$.timelines[{i}]")
 
 
+def _check_segment(segment, where: str) -> None:
+    _require(isinstance(segment, dict), where, "expected an object")
+    _require(isinstance(segment.get("kind"), str), where, "missing kind")
+    _check_number(segment.get("begin"), f"{where}.begin")
+    _check_number(segment.get("end"), f"{where}.end")
+    _require(segment["end"] >= segment["begin"], where,
+             f"end {segment['end']} before begin {segment['begin']}")
+    children = segment.get("segments")
+    _require(isinstance(children, list), where, "missing segments list")
+    for i, child in enumerate(children):
+        _check_segment(child, f"{where}.segments[{i}]")
+
+
+def _check_request(request, where: str) -> None:
+    _require(isinstance(request, dict), where, "expected an object")
+    _require(isinstance(request.get("id"), str), where, "missing id")
+    for field in ("name", "tenant"):
+        _require(isinstance(request.get(field), str), where,
+                 f"missing string field {field!r}")
+    for field in ("seq", "vcpu"):
+        _check_number(request.get(field), f"{where}.{field}")
+        _require(request[field] >= 0, f"{where}.{field}",
+                 f"must be non-negative, got {request[field]!r}")
+    _require(isinstance(request.get("error"), bool), where,
+             "missing boolean error field")
+    _check_number(request.get("begin"), f"{where}.begin")
+    _check_number(request.get("end"), f"{where}.end")
+    _require(request["end"] >= request["begin"], where,
+             f"end {request['end']} before begin {request['begin']}")
+    segments = request.get("segments")
+    _require(isinstance(segments, list), where, "missing segments list")
+    for i, segment in enumerate(segments):
+        _check_segment(segment, f"{where}.segments[{i}]")
+    _check_cycle_map(request.get("categories"), f"{where}.categories")
+    _check_cycle_map(request.get("steals"), f"{where}.steals")
+
+
+def _check_trace(trace, where: str) -> None:
+    _require(isinstance(trace, dict), where, "expected an object")
+    _require(isinstance(trace.get("label"), str), where, "missing label")
+    tenants = trace.get("tenants")
+    _require(isinstance(tenants, dict), where, "missing tenants object")
+    for key, name in tenants.items():
+        _require(isinstance(key, str) and isinstance(name, str),
+                 f"{where}.tenants", f"expected str -> str, got "
+                 f"{key!r}: {name!r}")
+    requests = trace.get("requests")
+    _require(isinstance(requests, list), where, "missing requests list")
+    seen: dict[tuple, float] = {}
+    for i, request in enumerate(requests):
+        rwhere = f"{where}.requests[{i}]"
+        _check_request(request, rwhere)
+        key = (request["vcpu"], request["seq"])
+        _require(key not in seen, rwhere,
+                 f"duplicate (vcpu, seq) pair {key}")
+        seen[key] = request["begin"]
+
+
+def validate_requests(document) -> None:
+    """Raise :class:`SchemaError` unless ``document`` is a valid requests
+    document (:func:`repro.telemetry.requests.requests_document`)."""
+    _require(isinstance(document, dict), "$", "expected an object")
+    _require(document.get("version") == 1, "$.version",
+             f"unsupported version {document.get('version')!r}")
+    _require(document.get("kind") == "hyperenclave-requests", "$.kind",
+             f"unexpected kind {document.get('kind')!r}")
+    traces = document.get("traces")
+    _require(isinstance(traces, list) and traces, "$.traces",
+             "expected a non-empty list")
+    for i, trace in enumerate(traces):
+        _check_trace(trace, f"$.traces[{i}]")
+
+
 def validate_file(path: str | pathlib.Path) -> dict:
     """Load and validate a document file; returns the parsed document.
 
-    Dispatches on ``kind``: telemetry snapshots and timeline documents
-    are both accepted, as are bench artifacts carrying a ``timeline``
-    block (the block is what gets validated).
+    Dispatches on ``kind``: telemetry snapshots, timeline documents and
+    requests documents are all accepted, as are bench artifacts carrying
+    a ``timeline`` or ``requests`` block (the block is what gets
+    validated; ``timeline`` wins when both are present).
     """
     document = json.loads(pathlib.Path(path).read_text())
     if isinstance(document, dict) \
-            and document.get("kind") != "hyperenclave-timeline" \
-            and isinstance(document.get("timeline"), dict):
-        document = document["timeline"]     # a bench artifact
-    if isinstance(document, dict) \
-            and document.get("kind") == "hyperenclave-timeline":
+            and document.get("kind") not in ("hyperenclave-timeline",
+                                             "hyperenclave-requests"):
+        if isinstance(document.get("timeline"), dict):
+            document = document["timeline"]     # a bench artifact
+        elif isinstance(document.get("requests"), dict):
+            document = document["requests"]     # a bench artifact
+    kind = document.get("kind") if isinstance(document, dict) else None
+    if kind == "hyperenclave-timeline":
         validate_timeline(document)
+    elif kind == "hyperenclave-requests":
+        validate_requests(document)
     else:
         validate_snapshot(document)
     return document
@@ -199,6 +278,10 @@ def main(argv: list[str] | None = None) -> int:
         samples = sum(len(t["samples"]) for t in document["timelines"])
         print(f"OK: {args[0]} ({len(document['timelines'])} timeline(s), "
               f"{samples} sample(s))")
+    elif document.get("kind") == "hyperenclave-requests":
+        requests = sum(len(t["requests"]) for t in document["traces"])
+        print(f"OK: {args[0]} ({len(document['traces'])} trace(s), "
+              f"{requests} request(s))")
     else:
         print(f"OK: {args[0]} ({len(document['machines'])} machine(s), "
               f"{document['combined']['total_cycles']:,.0f} cycles)")

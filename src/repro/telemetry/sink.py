@@ -25,7 +25,8 @@ _ACTIVE: "TelemetrySink | None" = None
 class TelemetrySink:
     """Collects the telemetry hubs of every machine a run creates."""
 
-    def __init__(self, *, timeline_interval: int | None = None) -> None:
+    def __init__(self, *, timeline_interval: int | None = None,
+                 trace_requests: bool = False) -> None:
         self._items: list[tuple[str, Telemetry]] = []
         self._labels: set[str] = set()
         self._index: dict[int, int] = {}    # id(telemetry) -> items index
@@ -34,6 +35,9 @@ class TelemetrySink:
         # When set, every machine registered here gets a cycle-domain
         # timeline sampler at this cadence (repro.telemetry.timeline).
         self._timeline_interval = timeline_interval
+        # When true, every machine registered here gets a request tracer
+        # (repro.telemetry.requests).
+        self._trace_requests = trace_requests
 
     def _dedupe(self, label: str) -> str:
         base, n = label, 1
@@ -57,6 +61,10 @@ class TelemetrySink:
                 from repro.telemetry.timeline import attach_machine
                 attach_machine(machine, interval=self._timeline_interval,
                                label=label)
+            if self._trace_requests:
+                from repro.telemetry.requests import \
+                    attach_machine as attach_tracer
+                attach_tracer(machine, label=label)
         slot = self._index.get(id(telemetry))
         if slot is not None:
             old_label, _ = self._items[slot]
@@ -65,6 +73,8 @@ class TelemetrySink:
             self._items[slot] = (label, telemetry)
             if telemetry.timeline is not None:
                 telemetry.timeline.label = label
+            if telemetry.requests is not None:
+                telemetry.requests.label = label
             return label
         label = self._dedupe(label)
         telemetry.enable()
@@ -72,6 +82,8 @@ class TelemetrySink:
         self._items.append((label, telemetry))
         if telemetry.timeline is not None:
             telemetry.timeline.label = label
+        if telemetry.requests is not None:
+            telemetry.requests.label = label
         return label
 
     def auto_register(self, telemetry: Telemetry, machine=None) -> str:
@@ -95,6 +107,10 @@ class TelemetrySink:
         if machine is not None and self._timeline_interval is not None:
             from repro.telemetry.timeline import detach_machine
             detach_machine(machine)
+        if machine is not None and self._trace_requests:
+            from repro.telemetry.requests import \
+                detach_machine as detach_tracer
+            detach_tracer(machine)
         self._index = {id(tel): i for i, (_, tel) in enumerate(self._items)}
         telemetry.disable()
         return True
@@ -151,6 +167,16 @@ class TelemetrySink:
         from repro.telemetry.timeline import timeline_document
         return timeline_document(self.timelines())
 
+    def request_tracers(self) -> list:
+        """The attached request tracers, in registration order."""
+        return [telemetry.requests for _, telemetry in self._items
+                if telemetry.requests is not None]
+
+    def requests_document(self) -> dict | None:
+        """The requests JSON document, or None when nothing traced."""
+        from repro.telemetry.requests import requests_document
+        return requests_document(self.request_tracers())
+
     def document(self, *, strict: bool = True) -> dict:
         """The snapshot document for everything registered so far."""
         return snapshot_document(self._items, strict=strict)
@@ -189,8 +215,10 @@ class capture:
         document = s.document()
     """
 
-    def __init__(self, timeline_interval: int | None = None) -> None:
-        self.sink = TelemetrySink(timeline_interval=timeline_interval)
+    def __init__(self, timeline_interval: int | None = None,
+                 trace_requests: bool = False) -> None:
+        self.sink = TelemetrySink(timeline_interval=timeline_interval,
+                                  trace_requests=trace_requests)
 
     def __enter__(self) -> TelemetrySink:
         activate(self.sink)

@@ -1,0 +1,43 @@
+"""A/B equivalence of request tracing across REPRO_FASTPATH modes.
+
+Trace ids come from (label, vcpu, per-vCPU counter) and segment stamps
+from op-boundary reads of the cycle counter, which are batch-invariant:
+every touch issues exactly one charge in every fast-path mode.  So the
+serialized requests document — ids, trees, category deltas, steal
+attributions — must be bit-identical across the legacy loop and both
+fast paths.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.hw import fastpath
+from repro.telemetry import sink as telemetry_sink
+from tests.fastpath.conftest import ALL_MODES
+
+
+def _run_traced() -> str:
+    """The two-tenant EPC-pressure scenario, requests JSON serialized."""
+    from repro.bench.runner import _ensure_benchmarks_importable
+    _ensure_benchmarks_importable()
+    import benchmarks.bench_epc_pressure as scenario
+
+    with telemetry_sink.capture(trace_requests=True) as sink:
+        figures = scenario.run_experiment()
+        document = sink.requests_document()
+    assert document is not None and document["traces"][0]["requests"]
+    return json.dumps({"figures": figures, "requests": document},
+                      sort_keys=True)
+
+
+def test_requests_json_bit_identical_across_modes():
+    results = {}
+    for requested in ALL_MODES:
+        effective = fastpath.set_mode(requested)
+        results.setdefault(effective, _run_traced())
+    fastpath.set_mode(None)
+    legacy = results.pop(fastpath.MODE_LEGACY)
+    assert results, "no fast mode available to compare"
+    for mode, serialized in results.items():
+        assert serialized == legacy, f"mode {mode} requests diverged"

@@ -1,0 +1,58 @@
+"""Request tracing through record/replay: same trees on both sides.
+
+The tracer observes only the simulated cycle counter and the monitor's
+op boundaries, so a recorded run and its journal replay must produce
+bit-identical requests documents — and recording with tracing enabled
+must not move a single journal event or checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.flightrec.replay import replay_journal
+from repro.flightrec.scenario import run_recorded
+from repro.telemetry import sink as telemetry_sink
+
+
+def _recorded_traced(lifecycle_scenario):
+    with telemetry_sink.capture(trace_requests=True) as sink:
+        journal, figures = run_recorded(lifecycle_scenario, {"iters": 3},
+                                        checkpoint_every=16)
+        document = sink.requests_document()
+    return journal, figures, document
+
+
+class TestRequestsReplay:
+    def test_tracing_does_not_perturb_the_journal(self, lifecycle_scenario):
+        bare, _ = run_recorded(lifecycle_scenario, {"iters": 3},
+                               checkpoint_every=16)
+        traced, _, document = _recorded_traced(lifecycle_scenario)
+        assert document is not None
+        assert [e.as_list() for e in traced.events] == \
+            [e.as_list() for e in bare.events]
+        assert [c.chain for c in traced.checkpoints] == \
+            [c.chain for c in bare.checkpoints]
+
+    def test_replay_reproduces_the_traced_requests(self, lifecycle_scenario):
+        journal, _, recorded_doc = _recorded_traced(lifecycle_scenario)
+        with telemetry_sink.capture(trace_requests=True) as sink:
+            result = replay_journal(journal, window=8)
+            replayed_doc = sink.requests_document()
+        assert result.ok, result.render()
+        assert replayed_doc is not None
+        assert json.dumps(replayed_doc, sort_keys=True) == \
+            json.dumps(recorded_doc, sort_keys=True)
+
+    def test_traced_run_records_the_lifecycle_calls(self,
+                                                    lifecycle_scenario):
+        _, _, document = _recorded_traced(lifecycle_scenario)
+        (trace,) = document["traces"]
+        names = [r["name"] for r in trace["requests"]]
+        # 3 iterations of (add_numbers + echo_through_ocall).
+        assert names.count("add_numbers") == 3
+        assert names.count("echo_through_ocall") == 3
+        echo = next(r for r in trace["requests"]
+                    if r["name"] == "echo_through_ocall")
+        kinds = [s["kind"] for s in echo["segments"]]
+        assert "eenter" in kinds

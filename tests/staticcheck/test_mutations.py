@@ -79,6 +79,41 @@ class TestInjectedViolations:
         assert hits[0].chain == ["repro.apps.mutated_leak:leak",
                                  "repro.hw.phys:PhysicalMemory.write"]
 
+    def test_wall_clock_trace_id_in_tracer_is_caught(self):
+        """The request tracer is an SC001 root: a trace id derived from
+        the wall clock (instead of the per-vCPU counter) must be a new
+        finding, with no pragma able to hide behind the package."""
+        target = SRC_REPRO / "telemetry" / "requests.py"
+        mutated = target.read_text() + (
+            '\n\ndef _mutated_request_id(tracer):\n'
+            '    """Mutation fixture: wall-clock trace id."""\n'
+            '    import time\n'
+            '    return f"{tracer.label}/{time.time()}"\n')
+        found = run_with_overlay({target.as_posix(): mutated})
+        hits = [f for f in found
+                if f.rule == "SC001" and not f.suppressed
+                and f.symbol.endswith(":_mutated_request_id")]
+        assert len(hits) == 1
+        assert hits[0].sink == "time.time"
+        assert hits[0].chain[0] == \
+            "repro.telemetry.requests:_mutated_request_id"
+
+    def test_random_tie_break_in_critpath_is_caught(self):
+        """The critical-path analyzer promises bit-identical reports,
+        so it is a root too: an unseeded-random tie-break is SC001."""
+        target = SRC_REPRO / "analysis" / "critpath.py"
+        mutated = target.read_text() + (
+            '\n\ndef _mutated_tie_break(children):\n'
+            '    """Mutation fixture: random critical-path tie-break."""\n'
+            '    import random\n'
+            '    return random.choice(children)\n')
+        found = run_with_overlay({target.as_posix(): mutated})
+        hits = [f for f in found
+                if f.rule == "SC001" and not f.suppressed
+                and f.symbol.endswith(":_mutated_tie_break")]
+        assert len(hits) == 1
+        assert hits[0].sink == "random.choice"
+
     def test_unmutated_tree_has_no_such_findings(self):
         found = analyze([SRC_REPRO], repo_config())
         assert not any("mutated" in f.symbol for f in found)
